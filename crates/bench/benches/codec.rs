@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the BTPC codec substrate: encode/decode
+//! throughput at several frame sizes and configurations (the paper's
+//! real-time constraint is 1 Mpixel/s).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memx_btpc::{CodecConfig, Decoder, Encoder, Image};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    for size in [64usize, 128, 256] {
+        let img = Image::synthetic_natural(size, size, 42);
+        group.throughput(Throughput::Elements((size * size) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("lossless", format!("{size}x{size}")),
+            &img,
+            |b, img| {
+                let enc = Encoder::new(CodecConfig::lossless());
+                b.iter(|| enc.encode(std::hint::black_box(img)).expect("encode"))
+            },
+        );
+    }
+    let img = Image::synthetic_natural(128, 128, 42);
+    group.throughput(Throughput::Elements((128 * 128) as u64));
+    group.bench_with_input(BenchmarkId::new("lossy_q8", "128x128"), &img, |b, img| {
+        let enc = Encoder::new(CodecConfig::lossy(8));
+        b.iter(|| enc.encode(std::hint::black_box(img)).expect("encode"))
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    for size in [64usize, 128] {
+        let img = Image::synthetic_natural(size, size, 42);
+        let cfg = CodecConfig::lossless();
+        let encoded = Encoder::new(cfg).encode(&img).expect("encode");
+        group.throughput(Throughput::Elements((size * size) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("lossless", format!("{size}x{size}")),
+            &encoded,
+            |b, encoded| {
+                let dec = Decoder::new(cfg);
+                b.iter(|| dec.decode(std::hint::black_box(encoded)).expect("decode"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_encode, bench_decode
+}
+criterion_main!(benches);

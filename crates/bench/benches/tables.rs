@@ -1,0 +1,44 @@
+//! Criterion benchmarks regenerating every table of the paper — the
+//! "design iteration time" the methodology optimizes for. Each bench
+//! measures how fast the designer gets the accurate feedback for one
+//! exploration table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memx_bench::experiments;
+
+fn bench_tables(c: &mut Criterion) {
+    let ctx = experiments::paper_context();
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table1_structuring", |b| {
+        b.iter(|| experiments::table1(std::hint::black_box(&ctx)).expect("table 1 runs"))
+    });
+    group.bench_function("table2_hierarchy", |b| {
+        b.iter(|| experiments::table2(std::hint::black_box(&ctx)).expect("table 2 runs"))
+    });
+    group.bench_function("table3_cycle_budget", |b| {
+        let extras = experiments::paper_extras();
+        b.iter(|| {
+            experiments::table3(std::hint::black_box(&ctx), &extras).expect("table 3 runs")
+        })
+    });
+    group.bench_function("table4_allocation", |b| {
+        let counts = experiments::paper_allocations();
+        b.iter(|| {
+            experiments::table4(std::hint::black_box(&ctx), &counts).expect("table 4 runs")
+        })
+    });
+    group.finish();
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    c.bench_function("profile/measure_64x64", |b| {
+        b.iter(|| memx_btpc::spec::measure_profile(64, 64, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables, bench_profiling
+}
+criterion_main!(benches);

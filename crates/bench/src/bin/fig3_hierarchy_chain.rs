@@ -1,0 +1,56 @@
+//! Regenerates **Figure 3**: the custom memory hierarchy for the pixel
+//! store — `1 M frame -> yhier (5 K, 2-port) -> ylocal (12 registers) ->
+//! data paths` — with the per-layer traffic our transform derives.
+
+use memx_bench::experiments;
+use memx_core::hierarchy::apply_hierarchy;
+
+fn main() {
+    let ctx = experiments::paper_context();
+    let (spec, pixel_store) = experiments::merged_spec(&ctx).expect("merge is valid");
+    let (ylocal, _, yhier_feeding) = experiments::figure3_layers();
+    let chain = apply_hierarchy(&spec, pixel_store, &[ylocal, yhier_feeding])
+        .expect("layers are valid");
+
+    println!("Figure 3: memory hierarchy for the pixel store (Layer 2 -> Layer 0)\n");
+    let target = chain.spec.group(pixel_store);
+    let (tr, tw) = chain.spec.total_accesses(pixel_store);
+    println!(
+        "Layer 2  {:<12} {:>9} words x {:>2} bit  ({})  reads {:>10.0} writes {:>10.0}",
+        target.name(),
+        target.words(),
+        target.bitwidth(),
+        target.placement(),
+        tr,
+        tw
+    );
+    for (i, &layer) in chain.layers.iter().enumerate().rev() {
+        let g = chain.spec.group(layer);
+        let (r, w) = chain.spec.total_accesses(layer);
+        println!(
+            "Layer {}  {:<12} {:>9} words x {:>2} bit  ({}, {} ports)  reads {:>10.0} writes {:>10.0}",
+            i,
+            g.name(),
+            g.words(),
+            g.bitwidth(),
+            g.placement(),
+            g.min_ports(),
+            r,
+            w
+        );
+    }
+    println!("         data paths");
+    println!();
+    println!("Copy loops inserted by the transform:");
+    for nest in chain.spec.loop_nests() {
+        if nest.name().starts_with("copy_") {
+            let burst = nest.accesses().iter().any(|a| a.is_burst());
+            println!(
+                "  {:<14} x{:>9}  ({})",
+                nest.name(),
+                nest.iterations(),
+                if burst { "page-mode burst from off-chip" } else { "on-chip transfer" }
+            );
+        }
+    }
+}

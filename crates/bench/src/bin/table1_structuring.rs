@@ -1,0 +1,18 @@
+//! Regenerates **Table 1**: basic group structuring for the BTPC
+//! application.
+
+use memx_bench::experiments;
+
+fn main() {
+    let ctx = experiments::paper_context();
+    match experiments::table1(&ctx) {
+        Ok(exp) => print!(
+            "{}",
+            exp.to_table("Table 1: Basic group structuring for the BTPC application")
+        ),
+        Err(e) => {
+            eprintln!("table 1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

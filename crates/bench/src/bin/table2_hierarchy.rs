@@ -1,0 +1,18 @@
+//! Regenerates **Table 2**: memory hierarchy decision for the BTPC
+//! application.
+
+use memx_bench::experiments;
+
+fn main() {
+    let ctx = experiments::paper_context();
+    match experiments::table2(&ctx) {
+        Ok(exp) => print!(
+            "{}",
+            exp.to_table("Table 2: Memory hierarchy decision for the BTPC application")
+        ),
+        Err(e) => {
+            eprintln!("table 2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates **Table 3**: memory organization cost versus storage
+//! cycle budget.
+
+use memx_bench::experiments;
+
+fn main() {
+    let ctx = experiments::paper_context();
+    let extras = match experiments::extended_extras(&ctx) {
+        Ok(extras) => extras,
+        Err(e) => {
+            eprintln!("table 3 sweep setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match experiments::table3(&ctx, &extras) {
+        Ok(rows) => {
+            println!("Table 3: Different cycle budgets for the BTPC application");
+            println!(
+                "{:<24} {:>16} {:>16} {:>16}",
+                "Extra cycles", "on-chip area", "on-chip power", "off-chip power"
+            );
+            println!(
+                "{:<24} {:>16} {:>16} {:>16}",
+                "for data-path", "[mm2]", "[mW]", "[mW]"
+            );
+            for row in rows {
+                println!(
+                    "{:<24} {:>16.1} {:>16.1} {:>16.1}",
+                    format!("{} ({:.1}%)", row.extra_cycles, row.extra_fraction * 100.0),
+                    row.report.cost.on_chip_area_mm2,
+                    row.report.cost.on_chip_power_mw,
+                    row.report.cost.off_chip_power_mw
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("table 3 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

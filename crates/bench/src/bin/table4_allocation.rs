@@ -1,0 +1,35 @@
+//! Regenerates **Table 4**: memory organization cost versus number of
+//! allocated on-chip memories.
+
+use memx_bench::experiments;
+
+fn main() {
+    let ctx = experiments::paper_context();
+    let counts = experiments::paper_allocations();
+    match experiments::table4(&ctx, &counts) {
+        Ok(rows) => {
+            println!("Table 4: Different memory allocations for the BTPC application");
+            println!(
+                "{:<24} {:>16} {:>16} {:>16}",
+                "Version", "on-chip area", "on-chip power", "off-chip power"
+            );
+            println!(
+                "{:<24} {:>16} {:>16} {:>16}",
+                "", "[mm2]", "[mW]", "[mW]"
+            );
+            for row in rows {
+                println!(
+                    "{:<24} {:>16.1} {:>16.1} {:>16.1}",
+                    format!("{} on-chip memories", row.memories),
+                    row.report.cost.on_chip_area_mm2,
+                    row.report.cost.on_chip_power_mw,
+                    row.report.cost.off_chip_power_mw
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("table 4 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Command-line BTPC codec: compress and decompress PGM images.
+//!
+//! ```console
+//! $ btpc encode input.pgm output.btpc [--quant N]
+//! $ btpc decode input.btpc output.pgm
+//! $ btpc roundtrip input.pgm            # encode+decode, report stats
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use memx_btpc::pgm::{decode_pgm, encode_pgm};
+use memx_btpc::{CodecConfig, Decoder, Encoded, Encoder};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: btpc encode <in.pgm> <out.btpc> [--quant N]");
+    eprintln!("       btpc decode <in.btpc> <out.pgm>");
+    eprintln!("       btpc roundtrip <in.pgm> [--quant N]");
+    ExitCode::FAILURE
+}
+
+fn parse_quant(args: &[String]) -> Result<u16, String> {
+    if let Some(i) = args.iter().position(|a| a == "--quant") {
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| "--quant needs a value".to_owned())?;
+        value
+            .parse::<u16>()
+            .map_err(|e| format!("bad --quant value `{value}`: {e}"))
+    } else {
+        Ok(1)
+    }
+}
+
+fn config(quant: u16) -> CodecConfig {
+    if quant <= 1 {
+        CodecConfig::lossless()
+    } else {
+        CodecConfig::lossy(quant)
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str);
+    match command {
+        Some("encode") if args.len() >= 3 => {
+            let quant = parse_quant(&args)?;
+            let input = fs::read(&args[1]).map_err(|e| format!("{}: {e}", args[1]))?;
+            let image = decode_pgm(&input).map_err(|e| e.to_string())?;
+            let encoded = Encoder::new(config(quant))
+                .encode(&image)
+                .map_err(|e| e.to_string())?;
+            fs::write(&args[2], encoded.to_bytes()).map_err(|e| format!("{}: {e}", args[2]))?;
+            println!(
+                "{}x{} -> {} bytes ({:.2}x compression)",
+                image.width(),
+                image.height(),
+                encoded.bytes().len(),
+                encoded.compression_ratio()
+            );
+            Ok(())
+        }
+        Some("decode") if args.len() >= 3 => {
+            let input = fs::read(&args[1]).map_err(|e| format!("{}: {e}", args[1]))?;
+            let encoded = Encoded::from_bytes(&input).map_err(|e| e.to_string())?;
+            let image = Decoder::new(*encoded.config())
+                .decode(&encoded)
+                .map_err(|e| e.to_string())?;
+            fs::write(&args[2], encode_pgm(&image)).map_err(|e| format!("{}: {e}", args[2]))?;
+            println!("{} -> {}x{} PGM", args[1], image.width(), image.height());
+            Ok(())
+        }
+        Some("roundtrip") if args.len() >= 2 => {
+            let quant = parse_quant(&args)?;
+            let input = fs::read(&args[1]).map_err(|e| format!("{}: {e}", args[1]))?;
+            let image = decode_pgm(&input).map_err(|e| e.to_string())?;
+            let cfg = config(quant);
+            let encoded = Encoder::new(cfg).encode(&image).map_err(|e| e.to_string())?;
+            let decoded = Decoder::new(cfg)
+                .decode(&encoded)
+                .map_err(|e| e.to_string())?;
+            let psnr = decoded.psnr(&image);
+            println!(
+                "{}x{}: {:.2} bits/pixel, {:.2}x compression, {}",
+                image.width(),
+                image.height(),
+                encoded.bit_len() as f64 / image.pixel_count() as f64,
+                encoded.compression_ratio(),
+                if psnr.is_infinite() {
+                    "lossless".to_owned()
+                } else {
+                    format!("PSNR {psnr:.1} dB")
+                }
+            );
+            Ok(())
+        }
+        _ => Err(String::new()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => usage(),
+        Err(msg) => {
+            eprintln!("btpc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

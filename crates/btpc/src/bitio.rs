@@ -1,0 +1,185 @@
+//! Bit-granular output/input streams for the entropy coder.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`BitReader`] runs past the end of its stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadBitsError {
+    /// Bit position at which the read was attempted.
+    pub position: usize,
+}
+
+impl fmt::Display for ReadBitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bitstream exhausted at bit {}", self.position)
+    }
+}
+
+impl Error for ReadBitsError {}
+
+/// Accumulates bits most-significant-first into a byte vector.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        if self.bit_pos == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= 1 << (7 - self.bit_pos);
+        }
+        self.bit_pos = (self.bit_pos + 1) % 8;
+    }
+
+    /// Appends the `count` low bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn put_bits(&mut self, value: u32, count: u32) {
+        assert!(count <= 32, "at most 32 bits per call");
+        for i in (0..count).rev() {
+            self.put_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.bit_pos == 0 {
+            self.bytes.len() * 8
+        } else {
+            (self.bytes.len() - 1) * 8 + usize::from(self.bit_pos)
+        }
+    }
+
+    /// Finishes the stream (zero-padding the last byte) and returns the
+    /// bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads bits most-significant-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error at end of stream.
+    #[inline]
+    pub fn get_bit(&mut self) -> Result<bool, ReadBitsError> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return Err(ReadBitsError { position: self.pos });
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `count` bits, most significant first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error at end of stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn get_bits(&mut self, count: u32) -> Result<u32, ReadBitsError> {
+        assert!(count <= 32, "at most 32 bits per call");
+        let mut v = 0u32;
+        for _ in 0..count {
+            v = (v << 1) | u32::from(self.get_bit()?);
+        }
+        Ok(v)
+    }
+
+    /// Current bit position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.put_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.get_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_round_trip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1011, 4);
+        w.put_bits(0xABCD, 16);
+        w.put_bits(1, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.get_bits(16).unwrap(), 0xABCD);
+        assert_eq!(r.get_bits(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn exhausted_reader_errors() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.get_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.get_bit().unwrap_err(), ReadBitsError { position: 8 });
+    }
+
+    #[test]
+    fn zero_count_reads_nothing() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.get_bits(0).unwrap(), 0);
+        assert_eq!(r.position(), 0);
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.put_bit(true);
+        assert_eq!(w.bit_len(), 1);
+        w.put_bits(0, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.put_bit(false);
+        assert_eq!(w.bit_len(), 9);
+    }
+}

@@ -1,0 +1,600 @@
+//! The BTPC encoder and decoder.
+//!
+//! Both sides walk the binary-tree pyramid from the coarsest level down:
+//! the coarsest lattice is raw-coded; every other pixel is predicted from
+//! its four already-coded neighbours, the neighbourhood pattern selects
+//! one of the six adaptive Huffman coders, and the (optionally quantized)
+//! prediction error is entropy-coded. Prediction is *closed-loop*: both
+//! sides predict from reconstructed values, so lossy streams stay in
+//! sync.
+//!
+//! The important arrays are tracked (see the crate docs): `image`, `pyr`,
+//! `ridge`, the per-context `huff_freq_*`/`huff_code_*` tables, the
+//! `zigzag`/`unzig`/`quant` LUTs and the `bitbuf` output buffer — the 18
+//! basic groups of the paper's §3.
+
+use std::error::Error;
+use std::fmt;
+
+use memx_profile::ProfileRegistry;
+
+use crate::{
+    classify, level_count, new_pixels, predict, AdaptiveHuffman, BitReader, BitWriter, Image,
+    Level, ReadBitsError,
+};
+use crate::pyramid::top_pixels;
+
+/// Number of neighbourhood patterns / Huffman contexts.
+pub(crate) const CONTEXTS: usize = 6;
+/// Prediction errors live in \[-255, 255\]; zigzag maps them to 0..511.
+const ERROR_SYMBOLS: usize = 511;
+
+/// Codec parameters shared by encoder and decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecConfig {
+    /// Quantization step for prediction errors; 1 means lossless.
+    pub quant_step: u16,
+    /// Adaptive-Huffman rebuild period in symbols.
+    pub rebuild_period: u32,
+}
+
+impl CodecConfig {
+    /// Lossless configuration (quantization step 1).
+    pub fn lossless() -> Self {
+        CodecConfig {
+            quant_step: 1,
+            rebuild_period: 256,
+        }
+    }
+
+    /// Lossy configuration with the given quantization step (>= 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quant_step < 2` (use [`CodecConfig::lossless`]).
+    pub fn lossy(quant_step: u16) -> Self {
+        assert!(quant_step >= 2, "lossy quantization step must be >= 2");
+        CodecConfig {
+            quant_step,
+            rebuild_period: 256,
+        }
+    }
+
+    /// `true` when the configuration is lossless.
+    pub fn is_lossless(&self) -> bool {
+        self.quant_step == 1
+    }
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        Self::lossless()
+    }
+}
+
+/// An encoded image: dimensions, the configuration used, and the
+/// entropy-coded payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Encoded {
+    width: usize,
+    height: usize,
+    config: CodecConfig,
+    bytes: Vec<u8>,
+}
+
+impl Encoded {
+    /// Source image width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Source image height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The configuration the stream was produced with.
+    pub fn config(&self) -> &CodecConfig {
+        &self.config
+    }
+
+    /// The compressed payload.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Compressed size in bits.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8
+    }
+
+    /// Compression ratio versus 8-bit raw storage.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.width * self.height * 8) as f64 / self.bit_len().max(1) as f64
+    }
+
+    /// Serializes the stream to a self-contained byte container
+    /// (`BTPC` magic, dimensions, configuration, payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.bytes.len() + 20);
+        out.extend_from_slice(b"BTPC");
+        out.extend_from_slice(&(self.width as u32).to_le_bytes());
+        out.extend_from_slice(&(self.height as u32).to_le_bytes());
+        out.extend_from_slice(&self.config.quant_step.to_le_bytes());
+        out.extend_from_slice(&self.config.rebuild_period.to_le_bytes());
+        out.extend_from_slice(&self.bytes);
+        out
+    }
+
+    /// Parses a container produced by [`Encoded::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::CorruptStream`] if the container is
+    /// malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Encoded, CodecError> {
+        let corrupt = |position| CodecError::CorruptStream { position };
+        if bytes.len() < 18 || &bytes[..4] != b"BTPC" {
+            return Err(corrupt(0));
+        }
+        let u32_at = |i: usize| {
+            u32::from_le_bytes(bytes[i..i + 4].try_into().expect("length checked"))
+        };
+        let width = u32_at(4) as usize;
+        let height = u32_at(8) as usize;
+        let quant_step = u16::from_le_bytes(bytes[12..14].try_into().expect("length checked"));
+        let rebuild_period = u32_at(14);
+        if width == 0 || height == 0 || quant_step == 0 || rebuild_period == 0 {
+            return Err(corrupt(4 * 8));
+        }
+        Ok(Encoded {
+            width,
+            height,
+            config: CodecConfig {
+                quant_step,
+                rebuild_period,
+            },
+            bytes: bytes[18..].to_vec(),
+        })
+    }
+}
+
+/// Errors produced by the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The bitstream ended prematurely or is corrupt.
+    Truncated(ReadBitsError),
+    /// A decoded value fell outside the 8-bit pixel range.
+    CorruptStream {
+        /// Bit position at which the corruption was detected.
+        position: usize,
+    },
+    /// Decoder configuration differs from the one in the stream.
+    ConfigMismatch,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated(e) => write!(f, "truncated stream: {e}"),
+            CodecError::CorruptStream { position } => {
+                write!(f, "corrupt stream near bit {position}")
+            }
+            CodecError::ConfigMismatch => write!(f, "decoder configuration mismatch"),
+        }
+    }
+}
+
+impl Error for CodecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodecError::Truncated(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ReadBitsError> for CodecError {
+    fn from(e: ReadBitsError) -> Self {
+        CodecError::Truncated(e)
+    }
+}
+
+/// Working state shared by encode and decode: the tracked arrays and the
+/// six Huffman coders.
+struct Pipeline {
+    pyr: memx_profile::TrackedArray<u16>,
+    ridge: memx_profile::TrackedArray<u8>,
+    zigzag: memx_profile::TrackedArray<u16>,
+    unzig: memx_profile::TrackedArray<u16>,
+    quant: memx_profile::TrackedArray<u16>,
+    coders: Vec<AdaptiveHuffman>,
+    width: usize,
+    height: usize,
+    quant_step: i32,
+}
+
+impl Pipeline {
+    fn new(width: usize, height: usize, config: &CodecConfig, registry: &ProfileRegistry) -> Self {
+        let mut zigzag = registry.array("zigzag", ERROR_SYMBOLS);
+        let mut unzig = registry.array("unzig", ERROR_SYMBOLS);
+        let mut quant = registry.array("quant", ERROR_SYMBOLS);
+        let q = i32::from(config.quant_step);
+        let mut zz = vec![0u16; ERROR_SYMBOLS];
+        let mut uz = vec![0u16; ERROR_SYMBOLS];
+        let mut qt = vec![0u16; ERROR_SYMBOLS];
+        for idx in 0..ERROR_SYMBOLS {
+            let e = idx as i32 - 255; // error value
+            let sym = if e >= 0 { 2 * e } else { -2 * e - 1 } as u16;
+            zz[idx] = sym;
+            uz[usize::from(sym)] = idx as u16;
+            // Nearest-multiple quantization index, biased away from zero.
+            let k = if e >= 0 { (e + q / 2) / q } else { -((-e + q / 2) / q) };
+            qt[idx] = (k + 255) as u16;
+        }
+        zigzag.fill_untracked(&zz);
+        unzig.fill_untracked(&uz);
+        quant.fill_untracked(&qt);
+        let coders = (0..CONTEXTS)
+            .map(|c| AdaptiveHuffman::new(c, ERROR_SYMBOLS, config.rebuild_period, registry))
+            .collect();
+        Pipeline {
+            pyr: registry.array("pyr", width * height),
+            ridge: registry.array("ridge", width * height),
+            zigzag,
+            unzig,
+            quant,
+            coders,
+            width,
+            height,
+            quant_step: q,
+        }
+    }
+
+    #[inline]
+    fn index(&self, x: usize, y: usize) -> usize {
+        y * self.width + x
+    }
+
+    /// Gathers the available neighbours of `(x, y)` for `level`:
+    /// reconstructed values from `pyr` and ridge codes from `ridge`.
+    fn gather(&self, level: Level, x: usize, y: usize) -> (Vec<u16>, u32) {
+        let mut values = Vec::with_capacity(4);
+        let mut edgy = 0u32;
+        for (dx, dy) in level.neighbor_offsets() {
+            let nx = x as isize + dx;
+            let ny = y as isize + dy;
+            if nx >= 0 && ny >= 0 && (nx as usize) < self.width && (ny as usize) < self.height {
+                let i = self.index(nx as usize, ny as usize);
+                values.push(self.pyr.read(i));
+                if self.ridge.read(i) != 0 {
+                    edgy += 1;
+                }
+            }
+        }
+        (values, edgy)
+    }
+
+    /// Context selection: the neighbourhood pattern, refined by the ridge
+    /// codes of the neighbours (a smooth patch surrounded by edges codes
+    /// as textured). Returns (context index, pattern ridge code,
+    /// predicted value).
+    fn model(&self, level: Level, x: usize, y: usize) -> (usize, u8, u16) {
+        let (values, edgy) = self.gather(level, x, y);
+        let pattern = classify(&values);
+        let mut ctx = pattern.context_index();
+        if ctx == 1 && edgy >= 3 {
+            ctx = 5; // smooth-but-near-edges behaves like texture
+        }
+        (ctx, pattern.ridge_code(), predict(pattern, &values))
+    }
+}
+
+/// The BTPC encoder.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    config: CodecConfig,
+}
+
+impl Encoder {
+    /// Creates an encoder with the given configuration.
+    pub fn new(config: CodecConfig) -> Self {
+        Encoder { config }
+    }
+
+    /// Encodes an image, instrumenting a private registry (use
+    /// [`Encoder::encode_with_registry`] to collect the profile).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; returns `Result` for forward
+    /// compatibility with streaming back ends.
+    pub fn encode(&self, image: &Image) -> Result<Encoded, CodecError> {
+        self.encode_with_registry(image, &ProfileRegistry::new())
+    }
+
+    /// Encodes an image, counting array accesses in `registry` (the
+    /// paper's automatic instrumentation, §4.1).
+    ///
+    /// # Errors
+    ///
+    /// See [`Encoder::encode`].
+    pub fn encode_with_registry(
+        &self,
+        image: &Image,
+        registry: &ProfileRegistry,
+    ) -> Result<Encoded, CodecError> {
+        let (w, h) = (image.width(), image.height());
+        let mut tracked_image = registry.array::<u16>("image", w * h);
+        tracked_image.fill_untracked(image.pixels());
+        let mut p = Pipeline::new(w, h, &self.config, registry);
+        let mut out = BitWriter::new();
+        let levels = level_count(w, h);
+
+        // Coarsest lattice: raw 8-bit pixels, copied into the pyramid.
+        for (x, y) in top_pixels(Level(levels), w, h) {
+            let v = tracked_image.read(p.index(x, y));
+            out.put_bits(u32::from(v), 8);
+            p.pyr.write(p.index(x, y), v);
+        }
+
+        // Refine level by level: predict, classify, code the error.
+        for l in (0..levels).rev() {
+            let level = Level(l);
+            for (x, y) in new_pixels(level, w, h) {
+                let (ctx, ridge_code, pred) = p.model(level, x, y);
+                let i = p.index(x, y);
+                let actual = tracked_image.read(i);
+                let err = i32::from(actual) - i32::from(pred);
+                // Quantize (identity when lossless), then zigzag-map.
+                let qidx = p.quant.read((err + 255) as usize);
+                let k = i32::from(qidx) - 255;
+                let sym = p.zigzag.read((k + 255) as usize);
+                p.coders[ctx].encode(sym, &mut out);
+                let recon = (i32::from(pred) + k * p.quant_step).clamp(0, 255) as u16;
+                p.pyr.write(i, recon);
+                p.ridge.write(i, ridge_code);
+            }
+        }
+
+        // Account the output buffer as the `bitbuf` basic group: one
+        // write per produced byte.
+        let bytes = out.into_bytes();
+        registry.counter("bitbuf").count_writes(bytes.len() as u64);
+        Ok(Encoded {
+            width: w,
+            height: h,
+            config: self.config,
+            bytes,
+        })
+    }
+}
+
+/// The BTPC decoder.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    config: CodecConfig,
+}
+
+impl Decoder {
+    /// Creates a decoder with the given configuration; it must match the
+    /// encoder's.
+    pub fn new(config: CodecConfig) -> Self {
+        Decoder { config }
+    }
+
+    /// Decodes a stream produced by [`Encoder::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stream is truncated/corrupt or the
+    /// configuration does not match.
+    pub fn decode(&self, encoded: &Encoded) -> Result<Image, CodecError> {
+        self.decode_with_registry(encoded, &ProfileRegistry::new())
+    }
+
+    /// Decodes with instrumentation (see
+    /// [`Encoder::encode_with_registry`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Decoder::decode`].
+    pub fn decode_with_registry(
+        &self,
+        encoded: &Encoded,
+        registry: &ProfileRegistry,
+    ) -> Result<Image, CodecError> {
+        if *encoded.config() != self.config {
+            return Err(CodecError::ConfigMismatch);
+        }
+        let (w, h) = (encoded.width(), encoded.height());
+        registry
+            .counter("bitbuf")
+            .count_reads(encoded.bytes().len() as u64);
+        let mut p = Pipeline::new(w, h, &self.config, registry);
+        let mut input = BitReader::new(encoded.bytes());
+        let levels = level_count(w, h);
+
+        for (x, y) in top_pixels(Level(levels), w, h) {
+            let v = input.get_bits(8)? as u16;
+            p.pyr.write(p.index(x, y), v);
+        }
+
+        for l in (0..levels).rev() {
+            let level = Level(l);
+            for (x, y) in new_pixels(level, w, h) {
+                let (ctx, ridge_code, pred) = p.model(level, x, y);
+                let i = p.index(x, y);
+                let sym = p.coders[ctx].decode(&mut input)?;
+                if usize::from(sym) >= ERROR_SYMBOLS {
+                    return Err(CodecError::CorruptStream {
+                        position: input.position(),
+                    });
+                }
+                let k = i32::from(p.unzig.read(usize::from(sym))) - 255;
+                let recon = (i32::from(pred) + k * p.quant_step).clamp(0, 255) as u16;
+                p.pyr.write(i, recon);
+                p.ridge.write(i, ridge_code);
+            }
+        }
+
+        let pixels = p.pyr.as_slice_untracked().to_vec();
+        Ok(Image::from_pixels(w, h, pixels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(img: &Image) -> Image {
+        let cfg = CodecConfig::lossless();
+        let encoded = Encoder::new(cfg).encode(img).unwrap();
+        Decoder::new(cfg).decode(&encoded).unwrap()
+    }
+
+    #[test]
+    fn lossless_round_trip_gradient() {
+        let img = Image::synthetic_gradient(32, 32);
+        assert_eq!(round_trip(&img), img);
+    }
+
+    #[test]
+    fn lossless_round_trip_natural() {
+        let img = Image::synthetic_natural(64, 64, 42);
+        assert_eq!(round_trip(&img), img);
+    }
+
+    #[test]
+    fn lossless_round_trip_noise() {
+        let img = Image::synthetic_noise(32, 32, 1);
+        assert_eq!(round_trip(&img), img);
+    }
+
+    #[test]
+    fn lossless_round_trip_non_square_odd_sizes() {
+        for (w, h) in [(17, 33), (64, 16), (5, 5), (1, 7)] {
+            let img = Image::synthetic_natural(w, h, 9);
+            assert_eq!(round_trip(&img), img, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn gradient_compresses_well() {
+        let img = Image::synthetic_gradient(128, 128);
+        let encoded = Encoder::new(CodecConfig::lossless()).encode(&img).unwrap();
+        assert!(
+            encoded.compression_ratio() > 2.0,
+            "ratio {}",
+            encoded.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn noise_does_not_explode() {
+        let img = Image::synthetic_noise(64, 64, 5);
+        let encoded = Encoder::new(CodecConfig::lossless()).encode(&img).unwrap();
+        // Entropy coding random 8-bit data costs < 1.5x raw.
+        assert!(encoded.bit_len() < 64 * 64 * 12, "bits {}", encoded.bit_len());
+    }
+
+    #[test]
+    fn lossy_reduces_size_and_keeps_quality() {
+        let img = Image::synthetic_natural(64, 64, 3);
+        let lossless = Encoder::new(CodecConfig::lossless()).encode(&img).unwrap();
+        let cfg = CodecConfig::lossy(8);
+        let lossy = Encoder::new(cfg).encode(&img).unwrap();
+        assert!(lossy.bit_len() < lossless.bit_len());
+        let decoded = Decoder::new(cfg).decode(&lossy).unwrap();
+        let psnr = decoded.psnr(&img);
+        assert!(psnr > 28.0, "psnr {psnr}");
+    }
+
+    #[test]
+    fn config_mismatch_detected() {
+        let img = Image::synthetic_gradient(16, 16);
+        let encoded = Encoder::new(CodecConfig::lossless()).encode(&img).unwrap();
+        let err = Decoder::new(CodecConfig::lossy(4)).decode(&encoded).unwrap_err();
+        assert_eq!(err, CodecError::ConfigMismatch);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let img = Image::synthetic_natural(32, 32, 2);
+        let cfg = CodecConfig::lossless();
+        let mut encoded = Encoder::new(cfg).encode(&img).unwrap();
+        encoded.bytes.truncate(encoded.bytes.len() / 2);
+        assert!(matches!(
+            Decoder::new(cfg).decode(&encoded),
+            Err(CodecError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn profiling_counts_look_like_the_paper() {
+        let img = Image::synthetic_natural(64, 64, 11);
+        let registry = ProfileRegistry::new();
+        Encoder::new(CodecConfig::lossless())
+            .encode_with_registry(&img, &registry)
+            .unwrap();
+        let p = registry.snapshot();
+        let (img_r, img_w) = p.counts("image").unwrap();
+        let (pyr_r, pyr_w) = p.counts("pyr").unwrap();
+        let (ridge_r, ridge_w) = p.counts("ridge").unwrap();
+        // Every pixel read exactly once from the input image.
+        assert_eq!(img_r, (64 * 64) as f64);
+        assert_eq!(img_w, 0.0);
+        // Every pixel written once to pyr; read ~4x for prediction.
+        assert_eq!(pyr_w, (64 * 64) as f64);
+        assert!(pyr_r > 3.0 * pyr_w, "pyr_r={pyr_r}");
+        // ridge read together with pyr, written once per predicted pixel.
+        assert_eq!(ridge_r, pyr_r);
+        assert!(ridge_w > 0.9 * (64 * 64) as f64);
+        // All six Huffman contexts exist.
+        for c in 0..6 {
+            assert!(p.counts(&format!("huff_freq_{c}")).is_some());
+        }
+    }
+
+    #[test]
+    fn encoded_metadata_accessors() {
+        let img = Image::synthetic_gradient(16, 8);
+        let encoded = Encoder::new(CodecConfig::lossless()).encode(&img).unwrap();
+        assert_eq!((encoded.width(), encoded.height()), (16, 8));
+        assert!(encoded.config().is_lossless());
+        assert!(!encoded.bytes().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2")]
+    fn lossy_step_one_panics() {
+        CodecConfig::lossy(1);
+    }
+
+    #[test]
+    fn container_round_trip() {
+        let img = Image::synthetic_natural(24, 16, 4);
+        let cfg = CodecConfig::lossy(4);
+        let encoded = Encoder::new(cfg).encode(&img).unwrap();
+        let bytes = encoded.to_bytes();
+        let parsed = Encoded::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, encoded);
+        let decoded = Decoder::new(cfg).decode(&parsed).unwrap();
+        assert_eq!(decoded.width(), 24);
+    }
+
+    #[test]
+    fn malformed_containers_rejected() {
+        assert!(Encoded::from_bytes(b"").is_err());
+        assert!(Encoded::from_bytes(b"NOPE0000000000000000").is_err());
+        // Zero width.
+        let mut bytes = Encoder::new(CodecConfig::lossless())
+            .encode(&Image::synthetic_gradient(4, 4))
+            .unwrap()
+            .to_bytes();
+        bytes[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Encoded::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Grayscale images and deterministic synthetic generators.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An 8-bit grayscale image (stored widened to `u16` so intermediate
+/// pyramid values never overflow).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<u16>,
+}
+
+impl Image {
+    /// Creates a black image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image {
+            width,
+            height,
+            pixels: vec![0; width * height],
+        }
+    }
+
+    /// Builds an image from row-major pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or a pixel exceeds 255.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u16>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        assert!(pixels.iter().all(|&p| p <= 255), "pixels must be 8-bit");
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u16 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: u16) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x] = v;
+    }
+
+    /// Row-major pixel data.
+    pub fn pixels(&self) -> &[u16] {
+        &self.pixels
+    }
+
+    /// A smooth diagonal gradient — highly predictable, compresses well.
+    pub fn synthetic_gradient(width: usize, height: usize) -> Self {
+        let mut img = Image::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, (((x + y) * 255) / (width + height - 2).max(1)) as u16);
+            }
+        }
+        img
+    }
+
+    /// Deterministic natural-image stand-in: smooth background plus
+    /// edges and mild texture, seeded so profiles are reproducible.
+    pub fn synthetic_natural(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut img = Image::new(width, height);
+        // Low-frequency background from a few random cosine plane waves.
+        let waves: Vec<(f64, f64, f64, f64)> = (0..4)
+            .map(|_| {
+                (
+                    rng.gen_range(0.5..3.0),
+                    rng.gen_range(0.5..3.0),
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                    rng.gen_range(10.0..40.0),
+                )
+            })
+            .collect();
+        // A couple of hard edges (objects).
+        let edges: Vec<(usize, usize, usize, usize, i32)> = (0..3)
+            .map(|_| {
+                let x0 = rng.gen_range(0..width);
+                let y0 = rng.gen_range(0..height);
+                (
+                    x0,
+                    y0,
+                    rng.gen_range(x0..width.max(x0 + 1)),
+                    rng.gen_range(y0..height.max(y0 + 1)),
+                    rng.gen_range(-60..60),
+                )
+            })
+            .collect();
+        for y in 0..height {
+            for x in 0..width {
+                let mut v = 128.0;
+                for &(fx, fy, ph, amp) in &waves {
+                    let arg = std::f64::consts::TAU
+                        * (fx * x as f64 / width as f64 + fy * y as f64 / height as f64)
+                        + ph;
+                    v += amp * arg.cos();
+                }
+                for &(x0, y0, x1, y1, delta) in &edges {
+                    if x >= x0 && x < x1 && y >= y0 && y < y1 {
+                        v += f64::from(delta);
+                    }
+                }
+                v += rng.gen_range(-3.0..3.0); // sensor noise
+                img.set(x, y, v.clamp(0.0, 255.0) as u16);
+            }
+        }
+        img
+    }
+
+    /// Uniform random noise — the worst case for prediction.
+    pub fn synthetic_noise(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut img = Image::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, rng.gen_range(0..=255));
+            }
+        }
+        img
+    }
+
+    /// Peak signal-to-noise ratio against a reference, in dB
+    /// (`f64::INFINITY` for identical images).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn psnr(&self, reference: &Image) -> f64 {
+        assert_eq!(
+            (self.width, self.height),
+            (reference.width, reference.height),
+            "psnr requires equal dimensions"
+        );
+        let mse: f64 = self
+            .pixels
+            .iter()
+            .zip(&reference.pixels)
+            .map(|(&a, &b)| {
+                let d = f64::from(a) - f64::from(b);
+                d * d
+            })
+            .sum::<f64>()
+            / self.pixel_count() as f64;
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+}
+
+impl fmt::Debug for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Image({}x{})", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut img = Image::new(4, 3);
+        img.set(3, 2, 200);
+        assert_eq!(img.get(3, 2), 200);
+        assert_eq!(img.pixel_count(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        Image::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = Image::synthetic_natural(32, 32, 7);
+        let b = Image::synthetic_natural(32, 32, 7);
+        assert_eq!(a, b);
+        let c = Image::synthetic_natural(32, 32, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gradient_is_monotone_along_diagonal() {
+        let img = Image::synthetic_gradient(16, 16);
+        assert!(img.get(0, 0) < img.get(15, 15));
+        assert_eq!(img.get(15, 15), 255);
+    }
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let img = Image::synthetic_gradient(8, 8);
+        assert!(img.psnr(&img).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_distortion() {
+        let img = Image::synthetic_gradient(8, 8);
+        let mut one_off = img.clone();
+        one_off.set(0, 0, img.get(0, 0) + 1);
+        let mut five_off = img.clone();
+        five_off.set(0, 0, img.get(0, 0) + 5);
+        assert!(one_off.psnr(&img) > five_off.psnr(&img));
+    }
+
+    #[test]
+    fn noise_uses_full_range() {
+        let img = Image::synthetic_noise(64, 64, 3);
+        let max = img.pixels().iter().max().unwrap();
+        let min = img.pixels().iter().min().unwrap();
+        assert!(*max > 200);
+        assert!(*min < 50);
+    }
+}

@@ -1,0 +1,227 @@
+//! Minimal PGM (portable graymap) reader/writer, so the codec can be
+//! exercised on real images without external dependencies.
+//!
+//! Supports the binary `P5` format with 8-bit samples (the common
+//! variant) and the ASCII `P2` format for reading.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::Image;
+
+/// Error parsing or writing a PGM stream.
+#[derive(Debug)]
+pub enum PgmError {
+    /// The stream is not a supported PGM variant.
+    BadMagic {
+        /// The two magic bytes found.
+        found: String,
+    },
+    /// Header fields missing or malformed.
+    BadHeader {
+        /// Description of the malformed field.
+        what: String,
+    },
+    /// Pixel data ended early.
+    Truncated,
+    /// Only 8-bit images are supported.
+    UnsupportedDepth {
+        /// The stream's `maxval`.
+        maxval: u32,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgmError::BadMagic { found } => write!(f, "not a PGM stream (magic `{found}`)"),
+            PgmError::BadHeader { what } => write!(f, "malformed PGM header: {what}"),
+            PgmError::Truncated => write!(f, "PGM pixel data truncated"),
+            PgmError::UnsupportedDepth { maxval } => {
+                write!(f, "unsupported PGM maxval {maxval} (only 8-bit supported)")
+            }
+            PgmError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for PgmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PgmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PgmError {
+    fn from(e: std::io::Error) -> Self {
+        PgmError::Io(e)
+    }
+}
+
+/// Reads whitespace/comment-separated header tokens.
+fn read_tokens(bytes: &[u8], count: usize) -> Result<(Vec<u32>, usize), PgmError> {
+    let mut tokens = Vec::with_capacity(count);
+    let mut pos = 0usize;
+    while tokens.len() < count {
+        // Skip whitespace and comments.
+        while pos < bytes.len() {
+            match bytes[pos] {
+                b'#' => {
+                    while pos < bytes.len() && bytes[pos] != b'\n' {
+                        pos += 1;
+                    }
+                }
+                c if c.is_ascii_whitespace() => pos += 1,
+                _ => break,
+            }
+        }
+        let start = pos;
+        while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        if pos == start {
+            return Err(PgmError::BadHeader {
+                what: "expected integer".to_owned(),
+            });
+        }
+        let text = std::str::from_utf8(&bytes[start..pos]).expect("digits are utf-8");
+        tokens.push(text.parse().map_err(|_| PgmError::BadHeader {
+            what: format!("integer `{text}` out of range"),
+        })?);
+    }
+    Ok((tokens, pos))
+}
+
+/// Parses a PGM image from a byte slice (`P5` binary or `P2` ASCII).
+///
+/// # Errors
+///
+/// Returns a [`PgmError`] on malformed or unsupported input.
+pub fn decode_pgm(bytes: &[u8]) -> Result<Image, PgmError> {
+    if bytes.len() < 2 {
+        return Err(PgmError::BadMagic {
+            found: String::new(),
+        });
+    }
+    let magic = &bytes[..2];
+    let binary = match magic {
+        b"P5" => true,
+        b"P2" => false,
+        other => {
+            return Err(PgmError::BadMagic {
+                found: String::from_utf8_lossy(other).into_owned(),
+            })
+        }
+    };
+    let (header, mut pos) = read_tokens(&bytes[2..], 3)?;
+    pos += 2;
+    let (width, height, maxval) = (header[0] as usize, header[1] as usize, header[2]);
+    if width == 0 || height == 0 {
+        return Err(PgmError::BadHeader {
+            what: "zero dimension".to_owned(),
+        });
+    }
+    if maxval == 0 || maxval > 255 {
+        return Err(PgmError::UnsupportedDepth { maxval });
+    }
+    let mut pixels = Vec::with_capacity(width * height);
+    if binary {
+        // Exactly one whitespace byte separates header and raster.
+        pos += 1;
+        let raster = bytes.get(pos..pos + width * height).ok_or(PgmError::Truncated)?;
+        pixels.extend(raster.iter().map(|&b| u16::from(b)));
+    } else {
+        let (values, _) = read_tokens(&bytes[pos..], width * height)
+            .map_err(|_| PgmError::Truncated)?;
+        pixels.extend(values.iter().map(|&v| v.min(255) as u16));
+    }
+    Ok(Image::from_pixels(width, height, pixels))
+}
+
+/// Reads a PGM image from a buffered reader.
+///
+/// # Errors
+///
+/// See [`decode_pgm`].
+pub fn read_pgm<R: BufRead>(mut reader: R) -> Result<Image, PgmError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    decode_pgm(&bytes)
+}
+
+/// Serializes an image as binary `P5` PGM.
+pub fn encode_pgm(image: &Image) -> Vec<u8> {
+    let mut out = format!("P5\n{} {}\n255\n", image.width(), image.height()).into_bytes();
+    out.extend(image.pixels().iter().map(|&p| p.min(255) as u8));
+    out
+}
+
+/// Writes an image as binary `P5` PGM.
+///
+/// # Errors
+///
+/// Returns an error if the writer fails.
+pub fn write_pgm<W: Write>(mut writer: W, image: &Image) -> Result<(), PgmError> {
+    writer.write_all(&encode_pgm(image))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_round_trip() {
+        let img = Image::synthetic_natural(17, 9, 3);
+        let bytes = encode_pgm(&img);
+        let back = decode_pgm(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ascii_parsing_with_comments() {
+        let text = b"P2\n# a comment\n3 2\n255\n0 128 255\n10 20 30\n";
+        let img = decode_pgm(text).unwrap();
+        assert_eq!((img.width(), img.height()), (3, 2));
+        assert_eq!(img.get(1, 0), 128);
+        assert_eq!(img.get(2, 1), 30);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            decode_pgm(b"P6\n1 1\n255\n\0\0\0"),
+            Err(PgmError::BadMagic { .. })
+        ));
+        assert!(matches!(decode_pgm(b""), Err(PgmError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn truncated_raster_rejected() {
+        let mut bytes = encode_pgm(&Image::synthetic_gradient(8, 8));
+        bytes.truncate(bytes.len() - 5);
+        assert!(matches!(decode_pgm(&bytes), Err(PgmError::Truncated)));
+    }
+
+    #[test]
+    fn sixteen_bit_depth_rejected() {
+        assert!(matches!(
+            decode_pgm(b"P5\n1 1\n65535\n\0\0"),
+            Err(PgmError::UnsupportedDepth { maxval: 65535 })
+        ));
+    }
+
+    #[test]
+    fn reader_writer_round_trip() {
+        let img = Image::synthetic_noise(12, 5, 8);
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &img).unwrap();
+        let back = read_pgm(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, img);
+    }
+}

@@ -1,0 +1,265 @@
+//! Neighbourhood-pattern classification and pattern-based predictors.
+//!
+//! BTPC predicts each new pixel from its (up to) four already-decoded
+//! neighbours. The neighbourhood is classified into one of **six
+//! patterns**; each pattern selects both a predictor and one of the six
+//! adaptive Huffman coders. A 2-bit *ridge* code (the edge orientation:
+//! none / axis A / axis B / cross) is stored per pixel in the `ridge`
+//! array — the paper's 2-bit-wide 1 M-word basic group.
+
+use std::fmt;
+
+/// The six neighbourhood patterns of the coder.
+///
+/// Neighbours come as two opposing pairs (see
+/// [`crate::Level::neighbor_offsets`]): pair *A* = `(n[0], n[1])`,
+/// pair *B* = `(n[2], n[3])`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeighborPattern {
+    /// All neighbours nearly equal.
+    Flat,
+    /// Small activity, no dominant direction.
+    Smooth,
+    /// Edge along axis A (pair A nearly equal, pair B differs).
+    EdgeA,
+    /// Edge along axis B.
+    EdgeB,
+    /// The two pairs disagree with each other (cross/ridge pattern).
+    Ridge,
+    /// High activity without structure.
+    Textured,
+}
+
+impl NeighborPattern {
+    /// Index of the Huffman coder used for this pattern (0..6).
+    pub fn context_index(self) -> usize {
+        match self {
+            NeighborPattern::Flat => 0,
+            NeighborPattern::Smooth => 1,
+            NeighborPattern::EdgeA => 2,
+            NeighborPattern::EdgeB => 3,
+            NeighborPattern::Ridge => 4,
+            NeighborPattern::Textured => 5,
+        }
+    }
+
+    /// The 2-bit ridge/orientation code stored in the `ridge` array:
+    /// 0 = no edge, 1 = edge along A, 2 = edge along B, 3 = cross.
+    pub fn ridge_code(self) -> u8 {
+        match self {
+            NeighborPattern::Flat | NeighborPattern::Smooth => 0,
+            NeighborPattern::EdgeA => 1,
+            NeighborPattern::EdgeB => 2,
+            NeighborPattern::Ridge | NeighborPattern::Textured => 3,
+        }
+    }
+
+    /// All six patterns, in context order.
+    pub fn all() -> [NeighborPattern; 6] {
+        [
+            NeighborPattern::Flat,
+            NeighborPattern::Smooth,
+            NeighborPattern::EdgeA,
+            NeighborPattern::EdgeB,
+            NeighborPattern::Ridge,
+            NeighborPattern::Textured,
+        ]
+    }
+}
+
+impl fmt::Display for NeighborPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NeighborPattern::Flat => "flat",
+            NeighborPattern::Smooth => "smooth",
+            NeighborPattern::EdgeA => "edge-a",
+            NeighborPattern::EdgeB => "edge-b",
+            NeighborPattern::Ridge => "ridge",
+            NeighborPattern::Textured => "textured",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies a neighbourhood into one of the six patterns.
+///
+/// `neighbors` holds the available neighbour values as two opposing
+/// pairs `[a0, a1, b0, b1]`; at image borders fewer values are available
+/// and only the activity classes are distinguished.
+///
+/// # Panics
+///
+/// Panics if `neighbors` is empty or holds more than 4 values.
+pub fn classify(neighbors: &[u16]) -> NeighborPattern {
+    assert!(
+        !neighbors.is_empty() && neighbors.len() <= 4,
+        "1 to 4 neighbours required"
+    );
+    let max = i32::from(*neighbors.iter().max().expect("non-empty"));
+    let min = i32::from(*neighbors.iter().min().expect("non-empty"));
+    let range = max - min;
+    if range <= 2 {
+        return NeighborPattern::Flat;
+    }
+    if range <= 10 {
+        return NeighborPattern::Smooth;
+    }
+    if neighbors.len() < 4 {
+        // Border pixels: no full pairs, fall back on activity.
+        return if range > 48 {
+            NeighborPattern::Textured
+        } else {
+            NeighborPattern::Smooth
+        };
+    }
+    let a0 = i32::from(neighbors[0]);
+    let a1 = i32::from(neighbors[1]);
+    let b0 = i32::from(neighbors[2]);
+    let b1 = i32::from(neighbors[3]);
+    let da = (a0 - a1).abs();
+    let db = (b0 - b1).abs();
+    let cross = ((a0 + a1) - (b0 + b1)).abs() / 2;
+    // An edge along one axis leaves that pair coherent while the other
+    // pair (or the cross difference) is large.
+    if da <= db / 2 && db > 10 {
+        return NeighborPattern::EdgeA;
+    }
+    if db <= da / 2 && da > 10 {
+        return NeighborPattern::EdgeB;
+    }
+    if cross > da.max(db) {
+        return NeighborPattern::Ridge;
+    }
+    NeighborPattern::Textured
+}
+
+/// Predicts a pixel value for the given pattern and neighbours (same
+/// slice passed to [`classify`]).
+///
+/// # Panics
+///
+/// Panics if `neighbors` is empty or holds more than 4 values.
+pub fn predict(pattern: NeighborPattern, neighbors: &[u16]) -> u16 {
+    assert!(
+        !neighbors.is_empty() && neighbors.len() <= 4,
+        "1 to 4 neighbours required"
+    );
+    let mean = |vals: &[u16]| -> u16 {
+        let sum: u32 = vals.iter().map(|&v| u32::from(v)).sum();
+        ((sum + vals.len() as u32 / 2) / vals.len() as u32) as u16
+    };
+    if neighbors.len() < 4 {
+        return mean(neighbors);
+    }
+    match pattern {
+        // Along an edge the coherent pair is the better predictor.
+        NeighborPattern::EdgeA => mean(&neighbors[0..2]),
+        NeighborPattern::EdgeB => mean(&neighbors[2..4]),
+        // For a ridge the median (mean of the two middle values) rejects
+        // the outlier pair.
+        NeighborPattern::Ridge => {
+            let mut v = [neighbors[0], neighbors[1], neighbors[2], neighbors[3]];
+            v.sort_unstable();
+            mean(&v[1..3])
+        }
+        NeighborPattern::Flat | NeighborPattern::Smooth | NeighborPattern::Textured => {
+            mean(neighbors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_neighbourhood_is_flat() {
+        assert_eq!(classify(&[100, 100, 101, 100]), NeighborPattern::Flat);
+    }
+
+    #[test]
+    fn gentle_slope_is_smooth() {
+        assert_eq!(classify(&[100, 104, 102, 106]), NeighborPattern::Smooth);
+    }
+
+    #[test]
+    fn edge_along_a_detected() {
+        // Pair A coherent (50, 52); pair B split (10, 90).
+        assert_eq!(classify(&[50, 52, 10, 90]), NeighborPattern::EdgeA);
+    }
+
+    #[test]
+    fn edge_along_b_detected() {
+        assert_eq!(classify(&[10, 90, 50, 52]), NeighborPattern::EdgeB);
+    }
+
+    #[test]
+    fn ridge_detected_when_pairs_disagree() {
+        // Both pairs internally coherent but far apart.
+        assert_eq!(classify(&[20, 22, 200, 204]), NeighborPattern::Ridge);
+    }
+
+    #[test]
+    fn chaotic_neighbourhood_is_textured() {
+        assert_eq!(classify(&[0, 200, 180, 20]), NeighborPattern::Textured);
+    }
+
+    #[test]
+    fn border_classification_uses_activity_only() {
+        assert_eq!(classify(&[10, 12]), NeighborPattern::Flat);
+        assert_eq!(classify(&[10, 200]), NeighborPattern::Textured);
+        assert_eq!(classify(&[10, 30]), NeighborPattern::Smooth);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 to 4 neighbours")]
+    fn empty_neighbourhood_panics() {
+        classify(&[]);
+    }
+
+    #[test]
+    fn prediction_tracks_the_edge_pair() {
+        let n = [50, 52, 10, 90];
+        assert_eq!(predict(NeighborPattern::EdgeA, &n), 51);
+        assert_eq!(predict(NeighborPattern::EdgeB, &n), 50);
+    }
+
+    #[test]
+    fn ridge_prediction_is_median_like() {
+        let n = [20, 22, 200, 204];
+        // middle two of (20, 22, 200, 204) -> (22 + 200 + 1) / 2 = 111.
+        assert_eq!(predict(NeighborPattern::Ridge, &n), 111);
+    }
+
+    #[test]
+    fn mean_prediction_rounds() {
+        assert_eq!(predict(NeighborPattern::Flat, &[1, 2]), 2);
+        assert_eq!(predict(NeighborPattern::Smooth, &[10, 20, 30, 40]), 25);
+    }
+
+    #[test]
+    fn every_pattern_has_unique_context() {
+        let mut seen = [false; 6];
+        for p in NeighborPattern::all() {
+            let i = p.context_index();
+            assert!(!seen[i], "duplicate context {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ridge_codes_fit_two_bits() {
+        for p in NeighborPattern::all() {
+            assert!(p.ridge_code() < 4);
+        }
+    }
+
+    #[test]
+    fn prediction_stays_in_pixel_range() {
+        for pattern in NeighborPattern::all() {
+            let p = predict(pattern, &[0, 255, 255, 0]);
+            assert!(p <= 255);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The quincunx binary-tree lattice underlying BTPC.
+//!
+//! BTPC successively splits the image into a high-resolution part and a
+//! low-resolution part holding *half* the pixels of the previous level —
+//! the "binary tree". Level 0 contains every pixel; each level keeps half
+//! of the previous one, alternating between square lattices and diamond
+//! (quincunx) lattices:
+//!
+//! * even level `2k`: pixels with `x` and `y` multiples of `2^k`;
+//! * odd level `2k+1`: the subset of level `2k` whose scaled coordinate
+//!   sum `(x/2^k + y/2^k)` is even.
+//!
+//! The pixels *new* at level `l` (in level `l` but not `l+1`) are
+//! predicted from their four nearest level-`l+1` neighbours: diagonal
+//! neighbours when `l` is odd, orthogonal when `l` is even.
+
+/// One level of the binary-tree pyramid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Level(pub u8);
+
+impl Level {
+    /// Coordinate spacing of this level's lattice: points lie on
+    /// multiples of `2^(level/2)` (odd levels additionally constrain the
+    /// parity of the scaled coordinate sum).
+    pub fn spacing(self) -> usize {
+        1 << (self.0 / 2)
+    }
+
+    /// `true` when this level is a diamond (quincunx) lattice.
+    pub fn is_diamond(self) -> bool {
+        !self.0.is_multiple_of(2)
+    }
+
+    /// The four neighbour offsets used to predict pixels *new at* this
+    /// level from the next-coarser lattice: diagonal at distance
+    /// `spacing` for odd levels, orthogonal for even levels.
+    ///
+    /// Offsets are returned as axis pairs: `[a0, a1, b0, b1]` with `a`
+    /// and `b` the two opposing pairs (the classification in
+    /// [`crate::classify`] relies on this pairing).
+    pub fn neighbor_offsets(self) -> [(isize, isize); 4] {
+        let d = self.spacing() as isize;
+        if self.is_diamond() {
+            // New at an odd level: both scaled coordinates odd; coarser
+            // lattice neighbours sit diagonally.
+            [(-d, -d), (d, d), (-d, d), (d, -d)]
+        } else {
+            // New at an even level: coarser (diamond) neighbours sit
+            // orthogonally.
+            [(-d, 0), (d, 0), (0, -d), (0, d)]
+        }
+    }
+}
+
+/// `true` if `(x, y)` belongs to the lattice of `level`.
+pub fn on_lattice(level: Level, x: usize, y: usize) -> bool {
+    let k = level.0 / 2;
+    let s = 1usize << k;
+    if !x.is_multiple_of(s) || !y.is_multiple_of(s) {
+        return false;
+    }
+    if level.is_diamond() {
+        ((x >> k) + (y >> k)).is_multiple_of(2)
+    } else {
+        true
+    }
+}
+
+/// Number of levels used for a `width x height` image: the coarsest
+/// level's lattice spacing does not exceed half the smaller dimension, so
+/// the raw-coded top level stays small while every level keeps enough
+/// neighbours for prediction.
+pub fn level_count(width: usize, height: usize) -> u8 {
+    let min_dim = width.min(height);
+    let mut levels = 0u8;
+    while (1usize << (levels.div_ceil(2) + 1)) <= min_dim {
+        levels += 1;
+    }
+    levels
+}
+
+/// The pixels new at `level`: on the `level` lattice but not on the
+/// `level + 1` lattice, in raster order.
+pub fn new_pixels(level: Level, width: usize, height: usize) -> Vec<(usize, usize)> {
+    let step = level.spacing();
+    let next = Level(level.0 + 1);
+    let mut out = Vec::new();
+    for y in (0..height).step_by(step) {
+        for x in (0..width).step_by(step) {
+            if on_lattice(level, x, y) && !on_lattice(next, x, y) {
+                out.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+/// The pixels of the coarsest lattice (raw-coded by the encoder), in
+/// raster order.
+pub fn top_pixels(level: Level, width: usize, height: usize) -> Vec<(usize, usize)> {
+    let step = level.spacing();
+    let mut out = Vec::new();
+    for y in (0..height).step_by(step) {
+        for x in (0..width).step_by(step) {
+            if on_lattice(level, x, y) {
+                out.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_zero_contains_everything() {
+        for (x, y) in [(0, 0), (1, 0), (3, 5), (7, 7)] {
+            assert!(on_lattice(Level(0), x, y));
+        }
+    }
+
+    #[test]
+    fn level_one_is_checkerboard() {
+        assert!(on_lattice(Level(1), 0, 0));
+        assert!(!on_lattice(Level(1), 1, 0));
+        assert!(on_lattice(Level(1), 1, 1));
+        assert!(on_lattice(Level(1), 2, 0));
+    }
+
+    #[test]
+    fn lattices_are_nested() {
+        for l in 0..8u8 {
+            for y in 0..32 {
+                for x in 0..32 {
+                    if on_lattice(Level(l + 1), x, y) {
+                        assert!(
+                            on_lattice(Level(l), x, y),
+                            "level {} not nested at ({x},{y})",
+                            l + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn each_level_halves_the_pixel_count() {
+        let (w, h) = (32, 32);
+        for l in 0..6u8 {
+            let count = |lv: u8| {
+                let mut c = 0;
+                for y in 0..h {
+                    for x in 0..w {
+                        if on_lattice(Level(lv), x, y) {
+                            c += 1;
+                        }
+                    }
+                }
+                c
+            };
+            assert_eq!(count(l), 2 * count(l + 1), "level {l}");
+        }
+    }
+
+    #[test]
+    fn new_pixels_partition_levels() {
+        let (w, h) = (16, 16);
+        let levels = level_count(w, h);
+        let mut total = top_pixels(Level(levels), w, h).len();
+        for l in 0..levels {
+            total += new_pixels(Level(l), w, h).len();
+        }
+        assert_eq!(total, w * h);
+    }
+
+    #[test]
+    fn neighbors_of_new_pixels_are_on_coarser_lattice() {
+        let (w, h) = (32, 32);
+        for l in 0..6u8 {
+            let level = Level(l);
+            for (x, y) in new_pixels(level, w, h) {
+                for (dx, dy) in level.neighbor_offsets() {
+                    let nx = x as isize + dx;
+                    let ny = y as isize + dy;
+                    if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
+                        assert!(
+                            on_lattice(Level(l + 1), nx as usize, ny as usize),
+                            "level {l} pixel ({x},{y}) neighbour ({nx},{ny})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_count_grows_with_size() {
+        assert!(level_count(16, 16) < level_count(64, 64));
+        let l = level_count(64, 64);
+        // Coarsest spacing at most half the min dimension.
+        assert!(Level(l).spacing() <= 32);
+    }
+
+    #[test]
+    fn interior_new_pixels_have_four_neighbors() {
+        let (w, h) = (16, 16);
+        let level = Level(2);
+        let d = level.spacing();
+        for (x, y) in new_pixels(level, w, h) {
+            if x >= d && y >= d && x + d < w && y + d < h {
+                let n = level
+                    .neighbor_offsets()
+                    .iter()
+                    .filter(|(dx, dy)| {
+                        let nx = x as isize + dx;
+                        let ny = y as isize + dy;
+                        nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h
+                    })
+                    .count();
+                assert_eq!(n, 4);
+            }
+        }
+    }
+}

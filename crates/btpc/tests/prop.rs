@@ -1,0 +1,110 @@
+//! Property-based tests on the codec: round trips, lossy error bounds,
+//! entropy-coder correctness on arbitrary streams.
+
+use memx_btpc::{
+    AdaptiveHuffman, BitReader, BitWriter, CodecConfig, Decoder, Encoder, Image,
+};
+use memx_profile::ProfileRegistry;
+use proptest::prelude::*;
+
+/// Arbitrary image: random dimensions and pixel content.
+fn arb_image() -> impl Strategy<Value = Image> {
+    (1usize..48, 1usize..48).prop_flat_map(|(w, h)| {
+        prop::collection::vec(0u16..=255, w * h)
+            .prop_map(move |pixels| Image::from_pixels(w, h, pixels))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lossless_round_trip_arbitrary_images(img in arb_image()) {
+        let cfg = CodecConfig::lossless();
+        let encoded = Encoder::new(cfg).encode(&img).expect("encode succeeds");
+        let decoded = Decoder::new(cfg).decode(&encoded).expect("decode succeeds");
+        prop_assert_eq!(decoded, img);
+    }
+
+    #[test]
+    fn lossy_error_bounded_by_half_quantization_step(
+        img in arb_image(),
+        q in 2u16..32,
+    ) {
+        // Closed-loop prediction: every pixel's reconstruction error is
+        // at most q/2 (the quantizer rounds to the nearest multiple).
+        let cfg = CodecConfig::lossy(q);
+        let encoded = Encoder::new(cfg).encode(&img).expect("encode succeeds");
+        let decoded = Decoder::new(cfg).decode(&encoded).expect("decode succeeds");
+        let bound = i32::from(q / 2 + q % 2);
+        for (a, b) in decoded.pixels().iter().zip(img.pixels()) {
+            let err = (i32::from(*a) - i32::from(*b)).abs();
+            prop_assert!(err <= bound, "error {err} exceeds bound {bound} (q={q})");
+        }
+    }
+
+    #[test]
+    fn larger_quantization_never_grows_the_stream(img in arb_image()) {
+        let fine = Encoder::new(CodecConfig::lossy(2)).encode(&img).expect("encode");
+        let coarse = Encoder::new(CodecConfig::lossy(16)).encode(&img).expect("encode");
+        prop_assert!(coarse.bit_len() <= fine.bit_len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn huffman_round_trips_arbitrary_streams(
+        symbols in 2usize..64,
+        period in 1u32..64,
+        stream in prop::collection::vec(0u16..64, 1..300),
+    ) {
+        let stream: Vec<u16> = stream
+            .into_iter()
+            .map(|s| s % symbols as u16)
+            .collect();
+        let reg = ProfileRegistry::new();
+        let mut enc = AdaptiveHuffman::new(0, symbols, period, &reg);
+        let mut dec = AdaptiveHuffman::new(1, symbols, period, &reg);
+        let mut w = BitWriter::new();
+        for &s in &stream {
+            enc.encode(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &s in &stream {
+            prop_assert_eq!(dec.decode(&mut r).expect("in-sync decode"), s);
+        }
+    }
+
+    #[test]
+    fn bitio_round_trips_arbitrary_values(
+        values in prop::collection::vec((0u32..=u32::MAX, 1u32..=32), 0..100),
+    ) {
+        let mut w = BitWriter::new();
+        for &(v, bits) in &values {
+            w.put_bits(v & ((1u64 << bits) - 1) as u32, bits);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, bits) in &values {
+            let masked = v & ((1u64 << bits) - 1) as u32;
+            prop_assert_eq!(r.get_bits(bits).expect("stream long enough"), masked);
+        }
+    }
+
+    #[test]
+    fn classification_is_total_and_consistent(
+        neighbors in prop::collection::vec(0u16..=255, 1..=4),
+    ) {
+        let pattern = memx_btpc::classify(&neighbors);
+        let prediction = memx_btpc::predict(pattern, &neighbors);
+        let max = *neighbors.iter().max().expect("non-empty");
+        let min = *neighbors.iter().min().expect("non-empty");
+        // Every predictor interpolates: the prediction stays within the
+        // neighbour range.
+        prop_assert!(prediction >= min && prediction <= max);
+        prop_assert!(pattern.context_index() < 6);
+    }
+}

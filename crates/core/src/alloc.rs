@@ -1,0 +1,821 @@
+//! Memory allocation and signal-to-memory assignment (§4.6, Table 4).
+//!
+//! Given the bandwidth constraints from [`crate::scbd`] (which accesses
+//! overlap in time), this stage chooses the number and type of memories
+//! and assigns every basic group to one of them, minimizing a weighted
+//! area/power cost with the technology models of [`memx_memlib`]:
+//!
+//! * groups whose accesses overlap force multi-port memories when they
+//!   share one (or must be split over several);
+//! * storing narrow groups in wide memories wastes cell area
+//!   ("bitwidth waste");
+//! * splitting on-chip storage over more memories lowers energy per
+//!   access (smaller arrays) but pays per-module overhead area — the
+//!   Table 4 trade-off.
+//!
+//! The on-chip assignment is exact branch-and-bound with canonical
+//! partition enumeration and a greedy incumbent; the off-chip side (few
+//! groups) is enumerated exhaustively.
+
+use std::collections::HashMap;
+
+use memx_ir::{AppSpec, BasicGroupId, Placement};
+use memx_memlib::{timing, CostBreakdown, MemLibrary, OffChipSelection, OnChipSpec};
+
+use crate::scbd::ScbdResult;
+use crate::ExploreError;
+
+/// Options steering allocation and assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocOptions {
+    /// Exact number of on-chip memories to allocate; `None` sweeps all
+    /// counts and keeps the cheapest (by the scalarized cost).
+    pub on_chip_memories: Option<u32>,
+    /// Weight of on-chip area \[per mm²\] in the scalarized cost.
+    pub area_weight: f64,
+    /// Weight of total power \[per mW\] in the scalarized cost.
+    pub power_weight: f64,
+    /// Largest port count the on-chip module generator offers.
+    pub max_on_chip_ports: u32,
+    /// Branch-and-bound node budget before falling back to the best
+    /// incumbent found so far.
+    pub node_limit: u64,
+}
+
+impl Default for AllocOptions {
+    fn default() -> Self {
+        AllocOptions {
+            on_chip_memories: None,
+            area_weight: 1.0,
+            power_weight: 1.0,
+            max_on_chip_ports: 4,
+            node_limit: 2_000_000,
+        }
+    }
+}
+
+/// Where an allocated memory lives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemoryKind {
+    /// A generated on-chip SRAM module.
+    OnChip,
+    /// An off-chip DRAM configuration from the part catalog.
+    OffChip(OffChipSelection),
+}
+
+/// One allocated memory with its assigned basic groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryInstance {
+    /// Assigned groups.
+    pub groups: Vec<BasicGroupId>,
+    /// Total words (sum over groups).
+    pub words: u64,
+    /// Word width in bits (maximum over groups — narrower groups waste
+    /// the upper bits).
+    pub width: u32,
+    /// Ports provisioned (from overlap analysis and group minimums).
+    pub ports: u32,
+    /// On-chip module or off-chip part configuration.
+    pub kind: MemoryKind,
+    /// This memory's contribution to the organization cost.
+    pub cost: CostBreakdown,
+}
+
+/// A complete memory organization with its cost — the feedback the whole
+/// methodology revolves around.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Organization {
+    /// All allocated memories (on-chip first).
+    pub memories: Vec<MemoryInstance>,
+    /// Total cost (the paper's three figures).
+    pub cost: CostBreakdown,
+}
+
+impl Organization {
+    /// Number of on-chip memories.
+    pub fn on_chip_count(&self) -> usize {
+        self.memories
+            .iter()
+            .filter(|m| matches!(m.kind, MemoryKind::OnChip))
+            .count()
+    }
+
+    /// Number of off-chip memories.
+    pub fn off_chip_count(&self) -> usize {
+        self.memories.len() - self.on_chip_count()
+    }
+
+    /// Maximum port count over the off-chip memories (Table 2's "a
+    /// two-port off-chip memory is needed").
+    pub fn max_off_chip_ports(&self) -> u32 {
+        self.memories
+            .iter()
+            .filter(|m| matches!(m.kind, MemoryKind::OffChip(_)))
+            .map(|m| m.ports)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Weighted random/burst access traffic of one group.
+#[derive(Debug, Clone, Copy, Default)]
+struct Traffic {
+    random: f64,
+    burst: f64,
+}
+
+impl Traffic {
+    fn total(&self) -> f64 {
+        self.random + self.burst
+    }
+
+    /// Energy-equivalent access count: bursts are discounted.
+    fn energy_accesses(&self) -> f64 {
+        self.random + self.burst * timing::OFF_CHIP_BURST_ENERGY_FACTOR
+    }
+}
+
+fn group_traffic(spec: &AppSpec) -> Vec<Traffic> {
+    let mut traffic = vec![Traffic::default(); spec.basic_groups().len()];
+    for nest in spec.loop_nests() {
+        let it = nest.iterations() as f64;
+        for a in nest.accesses() {
+            let t = &mut traffic[a.group().index()];
+            if a.is_burst() {
+                t.burst += a.weight() * it;
+            } else {
+                t.random += a.weight() * it;
+            }
+        }
+    }
+    traffic
+}
+
+/// Per-slot access-count table for fast port-requirement queries over
+/// group subsets (bitmask-indexed, memoized).
+struct PortOracle {
+    /// Each entry: (group index, simultaneous accesses) per busy cycle.
+    slots: Vec<Vec<(usize, u32)>>,
+    min_ports: Vec<u32>,
+    cache: HashMap<u64, u32>,
+}
+
+impl PortOracle {
+    fn new(spec: &AppSpec, scbd: &ScbdResult) -> Self {
+        let mut slots = Vec::new();
+        for body in &scbd.bodies {
+            for slot in &body.occupancy {
+                if slot.len() < 2 {
+                    // A single occupant can never force multiple ports
+                    // by overlap (group minimums are handled separately).
+                    continue;
+                }
+                let mut counts: HashMap<usize, u32> = HashMap::new();
+                for o in slot {
+                    *counts.entry(o.group.index()).or_insert(0) += 1;
+                }
+                let mut entry: Vec<(usize, u32)> = counts.into_iter().collect();
+                entry.sort_unstable();
+                slots.push(entry);
+            }
+        }
+        slots.sort();
+        slots.dedup();
+        PortOracle {
+            slots,
+            min_ports: spec.basic_groups().iter().map(|g| g.min_ports()).collect(),
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Ports required by a memory storing exactly the groups in `mask`.
+    fn required(&mut self, mask: u64) -> u32 {
+        if let Some(&p) = self.cache.get(&mask) {
+            return p;
+        }
+        let mut ports = 1u32;
+        for (i, &mp) in self.min_ports.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                ports = ports.max(mp);
+            }
+        }
+        for slot in &self.slots {
+            let overlap: u32 = slot
+                .iter()
+                .filter(|(g, _)| mask & (1 << *g) != 0)
+                .map(|&(_, c)| c)
+                .sum();
+            ports = ports.max(overlap);
+        }
+        self.cache.insert(mask, ports);
+        ports
+    }
+}
+
+/// Allocates memories and assigns every accessed basic group.
+///
+/// Groups without any access are treated as foreground (scalar-level)
+/// data and skipped, as the paper's pruning step prescribes.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::NoFeasibleAssignment`] when the bandwidth
+/// constraints cannot be met (e.g. off-chip overlap needing more than
+/// two ports), and [`ExploreError::Part`] if no off-chip part covers a
+/// group.
+pub fn assign(
+    spec: &AppSpec,
+    scbd: &ScbdResult,
+    lib: &MemLibrary,
+    options: &AllocOptions,
+) -> Result<Organization, ExploreError> {
+    let traffic = group_traffic(spec);
+    let time_s = spec.real_time_seconds();
+    let mut oracle = PortOracle::new(spec, scbd);
+
+    let mut off_groups = Vec::new();
+    let mut on_groups = Vec::new();
+    for g in spec.basic_groups() {
+        if traffic[g.id().index()].total() == 0.0 {
+            continue; // foreground data
+        }
+        match g.placement() {
+            Placement::OffChip => off_groups.push(g.id()),
+            // `Any` groups are small working arrays; on-chip storage
+            // dominates them on both power and latency, so the
+            // assignment considers them on-chip candidates.
+            Placement::OnChip | Placement::Any => on_groups.push(g.id()),
+        }
+    }
+    if on_groups.len() > 60 {
+        return Err(ExploreError::NoFeasibleAssignment {
+            reason: format!(
+                "{} on-chip groups exceed the 60-group assignment limit",
+                on_groups.len()
+            ),
+        });
+    }
+
+    // --- Off-chip side: exhaustive partition enumeration. ---------------
+    let off_memories = assign_off_chip(spec, &traffic, &mut oracle, lib, &off_groups, time_s)?;
+
+    // --- On-chip side: branch-and-bound per allocation size. ------------
+    if on_groups.is_empty() {
+        // A purely off-chip application (or one whose on-chip data is
+        // all foreground): nothing to allocate on chip.
+        if let Some(k) = options.on_chip_memories {
+            if k > 0 {
+                return Err(ExploreError::NoFeasibleAssignment {
+                    reason: format!("{k} on-chip memories requested but no on-chip groups exist"),
+                });
+            }
+        }
+        let cost = off_memories.iter().map(|m| m.cost).sum();
+        return Ok(Organization {
+            memories: off_memories,
+            cost,
+        });
+    }
+    let counts: Vec<u32> = match options.on_chip_memories {
+        Some(k) => vec![k],
+        None => (1..=on_groups.len() as u32).collect(),
+    };
+    let mut best: Option<(f64, Vec<MemoryInstance>)> = None;
+    for k in counts {
+        if k == 0 || k as usize > on_groups.len() {
+            continue;
+        }
+        if let Some(mems) = assign_on_chip(
+            spec,
+            &traffic,
+            &mut oracle,
+            lib,
+            &on_groups,
+            k,
+            time_s,
+            options,
+        ) {
+            let cost: CostBreakdown = mems.iter().map(|m| m.cost).sum();
+            let scalar = cost.scalar(options.area_weight, options.power_weight);
+            if best.as_ref().map(|(s, _)| scalar < *s).unwrap_or(true) {
+                best = Some((scalar, mems));
+            }
+        }
+    }
+    let (_, mut memories) = best.ok_or_else(|| ExploreError::NoFeasibleAssignment {
+        reason: match options.on_chip_memories {
+            Some(k) => format!("no feasible on-chip assignment with {k} memories"),
+            None => "no feasible on-chip assignment".to_owned(),
+        },
+    })?;
+
+    memories.extend(off_memories);
+    let cost = memories.iter().map(|m| m.cost).sum();
+    Ok(Organization { memories, cost })
+}
+
+/// Builds the cheapest off-chip memory set by enumerating partitions of
+/// the (few) off-chip groups.
+fn assign_off_chip(
+    spec: &AppSpec,
+    traffic: &[Traffic],
+    oracle: &mut PortOracle,
+    lib: &MemLibrary,
+    groups: &[BasicGroupId],
+    time_s: f64,
+) -> Result<Vec<MemoryInstance>, ExploreError> {
+    if groups.is_empty() {
+        return Ok(Vec::new());
+    }
+    let partitions = enumerate_partitions(groups.len());
+    let mut best: Option<(f64, Vec<MemoryInstance>)> = None;
+    'part: for partition in &partitions {
+        let mut mems = Vec::new();
+        let mut power = 0.0;
+        for block in partition {
+            let members: Vec<BasicGroupId> = block.iter().map(|&i| groups[i]).collect();
+            let mask: u64 = members.iter().map(|g| 1u64 << g.index()).sum();
+            let ports = oracle.required(mask);
+            if ports > 2 {
+                continue 'part; // DRAM systems offer at most dual banks
+            }
+            let words: u64 = members.iter().map(|&g| spec.group(g).words()).sum();
+            let width = members
+                .iter()
+                .map(|&g| spec.group(g).bitwidth())
+                .max()
+                .expect("block not empty");
+            let t: Traffic = members.iter().fold(Traffic::default(), |acc, &g| Traffic {
+                random: acc.random + traffic[g.index()].random,
+                burst: acc.burst + traffic[g.index()].burst,
+            });
+            let rate_energy = t.energy_accesses() / time_s;
+            let sel = lib.off_chip().select(words, width, ports, rate_energy)?;
+            let mw = sel.static_mw() + sel.energy_pj_per_access() * rate_energy / 1e9;
+            power += mw;
+            mems.push(MemoryInstance {
+                groups: members,
+                words,
+                width,
+                ports,
+                cost: CostBreakdown::new(0.0, 0.0, mw),
+                kind: MemoryKind::OffChip(sel),
+            });
+        }
+        if best.as_ref().map(|(p, _)| power < *p).unwrap_or(true) {
+            best = Some((power, mems));
+        }
+    }
+    best.map(|(_, mems)| mems)
+        .ok_or_else(|| ExploreError::NoFeasibleAssignment {
+            reason: "off-chip groups overlap beyond dual-port bandwidth".to_owned(),
+        })
+}
+
+/// All set partitions of `{0..n}` (n is small: off-chip groups only).
+fn enumerate_partitions(n: usize) -> Vec<Vec<Vec<usize>>> {
+    let mut result = Vec::new();
+    let mut current: Vec<Vec<usize>> = Vec::new();
+    fn recurse(i: usize, n: usize, current: &mut Vec<Vec<usize>>, out: &mut Vec<Vec<Vec<usize>>>) {
+        if i == n {
+            out.push(current.clone());
+            return;
+        }
+        for b in 0..current.len() {
+            current[b].push(i);
+            recurse(i + 1, n, current, out);
+            current[b].pop();
+        }
+        current.push(vec![i]);
+        recurse(i + 1, n, current, out);
+        current.pop();
+    }
+    recurse(0, n, &mut current, &mut result);
+    result
+}
+
+/// Cost of one on-chip memory holding `members`.
+fn on_chip_memory(
+    spec: &AppSpec,
+    traffic: &[Traffic],
+    lib: &MemLibrary,
+    members: &[BasicGroupId],
+    ports: u32,
+    time_s: f64,
+) -> MemoryInstance {
+    let words: u64 = members.iter().map(|&g| spec.group(g).words()).sum();
+    let width = members
+        .iter()
+        .map(|&g| spec.group(g).bitwidth())
+        .max()
+        .expect("memory not empty");
+    let module = OnChipSpec::new(words, width, ports);
+    let area = lib.on_chip().area_mm2(&module);
+    let energy = lib.on_chip().energy_pj(&module);
+    let accesses: f64 = members.iter().map(|&g| traffic[g.index()].total()).sum();
+    let mw = energy * accesses / time_s / 1e9;
+    MemoryInstance {
+        groups: members.to_vec(),
+        words,
+        width,
+        ports,
+        kind: MemoryKind::OnChip,
+        cost: CostBreakdown::new(area, mw, 0.0),
+    }
+}
+
+/// Branch-and-bound assignment of `groups` into exactly `k` on-chip
+/// memories. Returns `None` when infeasible under the port limit.
+#[allow(clippy::too_many_arguments)]
+fn assign_on_chip(
+    spec: &AppSpec,
+    traffic: &[Traffic],
+    oracle: &mut PortOracle,
+    lib: &MemLibrary,
+    groups: &[BasicGroupId],
+    k: u32,
+    time_s: f64,
+    options: &AllocOptions,
+) -> Option<Vec<MemoryInstance>> {
+    let k = k as usize;
+    if groups.is_empty() || k > groups.len() {
+        return None;
+    }
+    // Hardest-first ordering: most-accessed groups first.
+    let mut order: Vec<BasicGroupId> = groups.to_vec();
+    order.sort_by(|a, b| {
+        traffic[b.index()]
+            .total()
+            .partial_cmp(&traffic[a.index()].total())
+            .expect("traffic is finite")
+            .then(a.cmp(b))
+    });
+
+    // Per-group lower bound on cost if stored alone in a 1-port module
+    // (energy and cell area are monotone in words/width/ports).
+    let solo_lb: Vec<f64> = order
+        .iter()
+        .map(|&g| {
+            let grp = spec.group(g);
+            let module = OnChipSpec::new(grp.words(), grp.bitwidth(), 1);
+            let energy = lib.on_chip().energy_pj(&module);
+            let cells =
+                memx_memlib::calibration::ON_CHIP_AREA_PER_BIT_MM2 * grp.bits() as f64;
+            let mw = energy * traffic[g.index()].total() / time_s / 1e9;
+            cells * options.area_weight + mw * options.power_weight
+        })
+        .collect();
+    let suffix_lb: Vec<f64> = {
+        let mut s = vec![0.0; order.len() + 1];
+        for i in (0..order.len()).rev() {
+            s[i] = s[i + 1] + solo_lb[i];
+        }
+        s
+    };
+
+    struct Search<'a> {
+        spec: &'a AppSpec,
+        traffic: &'a [Traffic],
+        lib: &'a MemLibrary,
+        order: &'a [BasicGroupId],
+        suffix_lb: &'a [f64],
+        k: usize,
+        time_s: f64,
+        options: &'a AllocOptions,
+        best_scalar: f64,
+        best: Option<Vec<Vec<BasicGroupId>>>,
+        nodes: u64,
+    }
+
+    impl Search<'_> {
+        fn memory_scalar(&self, oracle: &mut PortOracle, members: &[BasicGroupId]) -> Option<f64> {
+            let mask: u64 = members.iter().map(|g| 1u64 << g.index()).sum();
+            let ports = oracle.required(mask);
+            if ports > self.options.max_on_chip_ports {
+                return None;
+            }
+            let mem = on_chip_memory(self.spec, self.traffic, self.lib, members, ports, self.time_s);
+            Some(mem.cost.scalar(self.options.area_weight, self.options.power_weight))
+        }
+
+        fn recurse(
+            &mut self,
+            oracle: &mut PortOracle,
+            i: usize,
+            bins: &mut Vec<Vec<BasicGroupId>>,
+            bin_scalars: &mut Vec<f64>,
+            acc: f64,
+        ) {
+            self.nodes += 1;
+            if self.nodes > self.options.node_limit {
+                return;
+            }
+            let remaining = self.order.len() - i;
+            if bins.len() + remaining < self.k {
+                return; // cannot open enough memories any more
+            }
+            if acc + self.suffix_lb[i] >= self.best_scalar {
+                return;
+            }
+            if i == self.order.len() {
+                if bins.len() == self.k {
+                    self.best_scalar = acc;
+                    self.best = Some(bins.clone());
+                }
+                return;
+            }
+            let g = self.order[i];
+            // Try existing memories.
+            for b in 0..bins.len() {
+                bins[b].push(g);
+                if let Some(new_scalar) = self.memory_scalar(oracle, &bins[b]) {
+                    let old = bin_scalars[b];
+                    let acc2 = acc - old + new_scalar;
+                    bin_scalars[b] = new_scalar;
+                    self.recurse(oracle, i + 1, bins, bin_scalars, acc2);
+                    bin_scalars[b] = old;
+                }
+                bins[b].pop();
+            }
+            // Open a new memory (canonical: only one way).
+            if bins.len() < self.k {
+                bins.push(vec![g]);
+                if let Some(scalar) = self.memory_scalar(oracle, &bins[bins.len() - 1]) {
+                    bin_scalars.push(scalar);
+                    self.recurse(oracle, i + 1, bins, bin_scalars, acc + scalar);
+                    bin_scalars.pop();
+                }
+                bins.pop();
+            }
+        }
+    }
+
+    let mut search = Search {
+        spec,
+        traffic,
+        lib,
+        order: &order,
+        suffix_lb: &suffix_lb,
+        k,
+        time_s,
+        options,
+        best_scalar: f64::INFINITY,
+        best: None,
+        nodes: 0,
+    };
+
+    // Greedy incumbent: the first k groups open their own memories, the
+    // rest join wherever the scalar cost grows least. Seeds the bound so
+    // the node limit degrades to "greedy + partial improvement" instead
+    // of "no answer".
+    {
+        let mut bins: Vec<Vec<BasicGroupId>> = Vec::new();
+        let mut bin_scalars: Vec<f64> = Vec::new();
+        let mut feasible = true;
+        for (i, &g) in order.iter().enumerate() {
+            if i < k {
+                bins.push(vec![g]);
+                match search.memory_scalar(oracle, &bins[i]) {
+                    Some(s) => bin_scalars.push(s),
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+                continue;
+            }
+            let mut choice: Option<(usize, f64)> = None;
+            for b in 0..bins.len() {
+                bins[b].push(g);
+                if let Some(s) = search.memory_scalar(oracle, &bins[b]) {
+                    let delta = s - bin_scalars[b];
+                    if choice.map(|(_, d)| delta < d).unwrap_or(true) {
+                        choice = Some((b, delta));
+                    }
+                }
+                bins[b].pop();
+            }
+            match choice {
+                Some((b, _)) => {
+                    bins[b].push(g);
+                    bin_scalars[b] = search
+                        .memory_scalar(oracle, &bins[b])
+                        .expect("feasibility just checked");
+                }
+                None => {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if feasible && bins.len() == k {
+            search.best_scalar = bin_scalars.iter().sum();
+            search.best = Some(bins);
+        }
+    }
+
+    let mut bins = Vec::new();
+    let mut bin_scalars = Vec::new();
+    search.recurse(oracle, 0, &mut bins, &mut bin_scalars, 0.0);
+    let bins = search.best?;
+    Some(
+        bins.iter()
+            .map(|members| {
+                let mask: u64 = members.iter().map(|g| 1u64 << g.index()).sum();
+                let ports = oracle.required(mask);
+                on_chip_memory(spec, traffic, lib, members, ports, time_s)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scbd;
+    use memx_ir::{AccessKind, AppSpecBuilder};
+
+    fn lib() -> MemLibrary {
+        MemLibrary::default_07um()
+    }
+
+    /// Spec with several on-chip groups of differing widths plus one
+    /// off-chip frame store.
+    fn mixed_spec(budget: u64) -> AppSpec {
+        let mut b = AppSpecBuilder::new("t");
+        let frame = b
+            .basic_group_placed("frame", 1 << 20, 8, Placement::OffChip)
+            .unwrap();
+        let narrow = b.basic_group("narrow", 512, 2).unwrap();
+        let wide = b.basic_group("wide", 512, 20).unwrap();
+        let mid = b.basic_group("mid", 256, 8).unwrap();
+        let n = b.loop_nest("l", 100_000).unwrap();
+        let a0 = b.access(n, frame, AccessKind::Read).unwrap();
+        let a1 = b.access(n, narrow, AccessKind::Read).unwrap();
+        let a2 = b.access(n, wide, AccessKind::Read).unwrap();
+        let a3 = b.access(n, mid, AccessKind::Write).unwrap();
+        b.depend(n, a0, a3).unwrap();
+        b.depend(n, a1, a3).unwrap();
+        b.depend(n, a2, a3).unwrap();
+        b.cycle_budget(budget).real_time_seconds(0.1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn assignment_produces_positive_costs() {
+        let spec = mixed_spec(2_000_000);
+        let s = scbd::distribute(&spec).unwrap();
+        let org = assign(&spec, &s, &lib(), &AllocOptions::default()).unwrap();
+        assert!(org.cost.on_chip_area_mm2 > 0.0);
+        assert!(org.cost.on_chip_power_mw > 0.0);
+        assert!(org.cost.off_chip_power_mw > 0.0);
+        assert_eq!(org.off_chip_count(), 1);
+        assert!(org.on_chip_count() >= 1);
+    }
+
+    #[test]
+    fn fixed_allocation_count_is_respected() {
+        let spec = mixed_spec(2_000_000);
+        let s = scbd::distribute(&spec).unwrap();
+        for k in 1..=3 {
+            let options = AllocOptions {
+                on_chip_memories: Some(k),
+                ..AllocOptions::default()
+            };
+            let org = assign(&spec, &s, &lib(), &options).unwrap();
+            assert_eq!(org.on_chip_count(), k as usize, "k={k}");
+        }
+    }
+
+    #[test]
+    fn more_memories_less_on_chip_power() {
+        // Table 4's monotone power column.
+        let spec = mixed_spec(2_000_000);
+        let s = scbd::distribute(&spec).unwrap();
+        let power = |k: u32| {
+            let options = AllocOptions {
+                on_chip_memories: Some(k),
+                ..AllocOptions::default()
+            };
+            assign(&spec, &s, &lib(), &options).unwrap().cost.on_chip_power_mw
+        };
+        assert!(power(3) <= power(1));
+    }
+
+    #[test]
+    fn one_memory_wastes_bitwidth() {
+        let spec = mixed_spec(2_000_000);
+        let s = scbd::distribute(&spec).unwrap();
+        let options = AllocOptions {
+            on_chip_memories: Some(1),
+            ..AllocOptions::default()
+        };
+        let org = assign(&spec, &s, &lib(), &options).unwrap();
+        let on_chip = org
+            .memories
+            .iter()
+            .find(|m| matches!(m.kind, MemoryKind::OnChip))
+            .unwrap();
+        // The single memory is as wide as the widest group.
+        assert_eq!(on_chip.width, 20);
+        assert_eq!(on_chip.words, 512 + 512 + 256);
+    }
+
+    #[test]
+    fn tight_budget_forces_multiport_or_split() {
+        // Two parallel reads funnel into one write under a 2-cycle
+        // budget: the reads must overlap, so sharing one memory needs
+        // two ports while two memories stay single-ported.
+        let mut b = AppSpecBuilder::new("t");
+        let narrow = b.basic_group("narrow", 512, 2).unwrap();
+        let wide = b.basic_group("wide", 512, 20).unwrap();
+        let n = b.loop_nest("l", 1000).unwrap();
+        let a0 = b.access(n, narrow, AccessKind::Read).unwrap();
+        let a1 = b.access(n, wide, AccessKind::Read).unwrap();
+        let a2 = b.access(n, narrow, AccessKind::Write).unwrap();
+        b.depend(n, a0, a2).unwrap();
+        b.depend(n, a1, a2).unwrap();
+        b.cycle_budget(2000).real_time_seconds(0.01);
+        let spec = b.build().unwrap();
+        let s = scbd::distribute(&spec).unwrap();
+        let options = AllocOptions {
+            on_chip_memories: Some(1),
+            ..AllocOptions::default()
+        };
+        let org = assign(&spec, &s, &lib(), &options).unwrap();
+        let on_chip = org
+            .memories
+            .iter()
+            .find(|m| matches!(m.kind, MemoryKind::OnChip))
+            .unwrap();
+        assert!(on_chip.ports >= 2, "ports = {}", on_chip.ports);
+        // Splitting into two memories avoids the multi-port penalty.
+        let options2 = AllocOptions {
+            on_chip_memories: Some(2),
+            ..AllocOptions::default()
+        };
+        let org2 = assign(&spec, &s, &lib(), &options2).unwrap();
+        let max_ports = org2
+            .memories
+            .iter()
+            .filter(|m| matches!(m.kind, MemoryKind::OnChip))
+            .map(|m| m.ports)
+            .max()
+            .unwrap();
+        assert_eq!(max_ports, 1);
+    }
+
+    #[test]
+    fn sweep_finds_a_no_worse_organization_than_any_fixed_k() {
+        let spec = mixed_spec(2_000_000);
+        let s = scbd::distribute(&spec).unwrap();
+        let sweep = assign(&spec, &s, &lib(), &AllocOptions::default()).unwrap();
+        let sweep_scalar = sweep.cost.scalar(1.0, 1.0);
+        for k in 1..=3 {
+            let options = AllocOptions {
+                on_chip_memories: Some(k),
+                ..AllocOptions::default()
+            };
+            let fixed = assign(&spec, &s, &lib(), &options).unwrap();
+            assert!(sweep_scalar <= fixed.cost.scalar(1.0, 1.0) + 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn min_ports_respected() {
+        let mut b = AppSpecBuilder::new("t");
+        let g = b
+            .basic_group_full("buf", 5 * 1024, 8, Placement::OnChip, 2)
+            .unwrap();
+        let n = b.loop_nest("l", 1000).unwrap();
+        b.access(n, g, AccessKind::Read).unwrap();
+        b.cycle_budget(100_000).real_time_seconds(0.01);
+        let spec = b.build().unwrap();
+        let s = scbd::distribute(&spec).unwrap();
+        let org = assign(&spec, &s, &lib(), &AllocOptions::default()).unwrap();
+        assert_eq!(org.memories[0].ports, 2);
+    }
+
+    #[test]
+    fn partition_enumeration_counts_bell_numbers() {
+        assert_eq!(enumerate_partitions(1).len(), 1);
+        assert_eq!(enumerate_partitions(2).len(), 2);
+        assert_eq!(enumerate_partitions(3).len(), 5);
+        assert_eq!(enumerate_partitions(4).len(), 15);
+    }
+
+    #[test]
+    fn zero_access_groups_are_foreground() {
+        let mut b = AppSpecBuilder::new("t");
+        let used = b.basic_group("used", 64, 8).unwrap();
+        let _unused = b.basic_group("unused", 64, 8).unwrap();
+        let n = b.loop_nest("l", 10).unwrap();
+        b.access(n, used, AccessKind::Read).unwrap();
+        b.cycle_budget(1000);
+        let spec = b.build().unwrap();
+        let s = scbd::distribute(&spec).unwrap();
+        let org = assign(&spec, &s, &lib(), &AllocOptions::default()).unwrap();
+        let assigned: usize = org.memories.iter().map(|m| m.groups.len()).sum();
+        assert_eq!(assigned, 1);
+    }
+}

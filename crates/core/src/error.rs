@@ -1,0 +1,106 @@
+//! Error type shared by the exploration stages.
+
+use std::error::Error;
+use std::fmt;
+
+use memx_ir::BuildSpecError;
+use memx_memlib::SelectPartError;
+
+/// Errors raised by the exploration pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExploreError {
+    /// The cycle budget cannot accommodate the access flow graphs even at
+    /// maximal memory parallelism.
+    BudgetTooTight {
+        /// Loop nest that cannot be scheduled.
+        nest: String,
+        /// Cycles needed by that body's critical path (with access
+        /// durations).
+        required: u64,
+        /// Cycles available for that body.
+        available: u64,
+    },
+    /// A requested transform referred to a basic group that does not
+    /// exist or does not qualify.
+    BadTransform {
+        /// Explanation of the rejected transform.
+        reason: String,
+    },
+    /// No legal signal-to-memory assignment exists under the given
+    /// allocation (e.g. more mutually-conflicting off-chip groups than
+    /// ports).
+    NoFeasibleAssignment {
+        /// Explanation of the infeasibility.
+        reason: String,
+    },
+    /// Re-building a transformed specification failed.
+    Spec(BuildSpecError),
+    /// Off-chip part selection failed.
+    Part(SelectPartError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::BudgetTooTight {
+                nest,
+                required,
+                available,
+            } => write!(
+                f,
+                "cycle budget too tight: body `{nest}` needs {required} cycles, {available} available"
+            ),
+            ExploreError::BadTransform { reason } => write!(f, "invalid transform: {reason}"),
+            ExploreError::NoFeasibleAssignment { reason } => {
+                write!(f, "no feasible signal-to-memory assignment: {reason}")
+            }
+            ExploreError::Spec(e) => write!(f, "specification error: {e}"),
+            ExploreError::Part(e) => write!(f, "part selection error: {e}"),
+        }
+    }
+}
+
+impl Error for ExploreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExploreError::Spec(e) => Some(e),
+            ExploreError::Part(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildSpecError> for ExploreError {
+    fn from(e: BuildSpecError) -> Self {
+        ExploreError::Spec(e)
+    }
+}
+
+impl From<SelectPartError> for ExploreError {
+    fn from(e: SelectPartError) -> Self {
+        ExploreError::Part(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ExploreError::BudgetTooTight {
+            nest: "refine".into(),
+            required: 30,
+            available: 20,
+        };
+        assert!(e.to_string().contains("refine"));
+        let e = ExploreError::from(BuildSpecError::MissingCycleBudget);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<T: Error + Send + Sync + 'static>() {}
+        assert_err::<ExploreError>();
+    }
+}

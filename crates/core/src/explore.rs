@@ -1,0 +1,285 @@
+//! The Figure-1 feedback driver: evaluate a specification variant
+//! end-to-end and report the three cost figures.
+//!
+//! Every decision step of the methodology (structuring, hierarchy,
+//! budget, allocation) produces *variant specifications*; this module
+//! runs a variant through storage-cycle-budget distribution and memory
+//! allocation/assignment and returns the accurate area/power feedback
+//! that steers the next decision. [`Exploration`] batches variants and
+//! keeps their reports side by side, like the tables of the paper.
+
+use std::fmt;
+
+use memx_ir::AppSpec;
+use memx_memlib::{CostBreakdown, MemLibrary};
+
+use crate::alloc::{assign, AllocOptions, Organization};
+use crate::macp;
+use crate::scbd::{self, ScbdResult};
+use crate::ExploreError;
+
+/// Options for a single end-to-end evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvaluateOptions {
+    /// Override of the spec's storage cycle budget (Table 3 knob).
+    pub cycle_budget: Option<u64>,
+    /// Allocation/assignment options (Table 4 knob).
+    pub alloc: AllocOptions,
+}
+
+/// The feedback of one evaluated variant.
+#[derive(Debug, Clone)]
+pub struct CostReport {
+    /// Variant label (e.g. `"ridge and pyr merged"`).
+    pub label: String,
+    /// The paper's three figures.
+    pub cost: CostBreakdown,
+    /// The designed memory organization behind the figures.
+    pub organization: Organization,
+    /// The distributed schedule (for inspecting budgets/conflicts).
+    pub schedule: ScbdResult,
+    /// Memory-access critical path of the variant.
+    pub macp_cycles: u64,
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<28} {}", self.label, self.cost)
+    }
+}
+
+/// Runs SCBD + allocation/assignment on one variant.
+///
+/// # Errors
+///
+/// Propagates [`ExploreError`]s from the stages (tight budgets,
+/// infeasible assignments).
+pub fn evaluate(
+    spec: &AppSpec,
+    lib: &MemLibrary,
+    options: &EvaluateOptions,
+) -> Result<CostReport, ExploreError> {
+    let budget = options.cycle_budget.unwrap_or_else(|| spec.cycle_budget());
+    let schedule = scbd::distribute_with_budget(spec, budget)?;
+    let organization = assign(spec, &schedule, lib, &options.alloc)?;
+    let report = macp::analyze(spec);
+    Ok(CostReport {
+        label: spec.name().to_owned(),
+        cost: organization.cost,
+        organization,
+        schedule,
+        macp_cycles: report.total_cycles,
+    })
+}
+
+/// A batch of variant evaluations sharing one technology library — the
+/// "try out a number of alternatives and compare" workflow of every
+/// exploration table in the paper.
+#[derive(Debug)]
+pub struct Exploration<'a> {
+    lib: &'a MemLibrary,
+    reports: Vec<CostReport>,
+}
+
+impl<'a> Exploration<'a> {
+    /// Creates an empty exploration over `lib`.
+    pub fn new(lib: &'a MemLibrary) -> Self {
+        Exploration {
+            lib,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Evaluates a variant and records its report under `label`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the evaluation error without recording a report.
+    pub fn add(
+        &mut self,
+        label: impl Into<String>,
+        spec: &AppSpec,
+        options: &EvaluateOptions,
+    ) -> Result<&CostReport, ExploreError> {
+        let mut report = evaluate(spec, self.lib, options)?;
+        report.label = label.into();
+        self.reports.push(report);
+        Ok(self.reports.last().expect("just pushed"))
+    }
+
+    /// All recorded reports, in insertion order.
+    pub fn reports(&self) -> &[CostReport] {
+        &self.reports
+    }
+
+    /// The report with the lowest scalarized cost.
+    pub fn best(&self, area_weight: f64, power_weight: f64) -> Option<&CostReport> {
+        self.reports.iter().min_by(|a, b| {
+            a.cost
+                .scalar(area_weight, power_weight)
+                .partial_cmp(&b.cost.scalar(area_weight, power_weight))
+                .expect("costs are finite")
+        })
+    }
+
+    /// The Pareto-optimal reports: variants not dominated on all three
+    /// cost axes by any other recorded variant. Exposes the genuine
+    /// area/power trade-offs the designer must weigh (e.g. Table 2's
+    /// layer-1-vs-layer-0 choice).
+    pub fn pareto_front(&self) -> Vec<&CostReport> {
+        pareto_front(&self.reports)
+    }
+
+    /// Renders the reports as a paper-style table.
+    pub fn to_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{title}\n"));
+        out.push_str(&format!(
+            "{:<28} {:>16} {:>16} {:>16}\n",
+            "Version", "on-chip area", "on-chip power", "off-chip power"
+        ));
+        out.push_str(&format!(
+            "{:<28} {:>16} {:>16} {:>16}\n",
+            "", "[mm2]", "[mW]", "[mW]"
+        ));
+        for r in &self.reports {
+            out.push_str(&format!(
+                "{:<28} {:>16.1} {:>16.1} {:>16.1}\n",
+                r.label,
+                r.cost.on_chip_area_mm2,
+                r.cost.on_chip_power_mw,
+                r.cost.off_chip_power_mw
+            ));
+        }
+        out
+    }
+}
+
+/// Filters `reports` down to the Pareto front over the three cost axes
+/// (on-chip area, on-chip power, off-chip power).
+///
+/// Duplicate cost points are all kept: they are distinct design options
+/// with identical cost, which the designer may still prefer for other
+/// reasons (layout, bus structure — the paper's §4.6 closing remark).
+pub fn pareto_front(reports: &[CostReport]) -> Vec<&CostReport> {
+    reports
+        .iter()
+        .filter(|candidate| {
+            !reports.iter().any(|other| {
+                !std::ptr::eq(*candidate, other)
+                    && other.cost.dominates(&candidate.cost)
+                    && !candidate.cost.dominates(&other.cost)
+            })
+            // (kept explicit: "strictly better on some axis" semantics)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memx_ir::{AccessKind, AppSpecBuilder};
+
+    fn spec() -> AppSpec {
+        let mut b = AppSpecBuilder::new("t");
+        let x = b.basic_group("x", 1024, 8).unwrap();
+        let y = b.basic_group("y", 512, 16).unwrap();
+        let n = b.loop_nest("l", 10_000).unwrap();
+        let rx = b.access(n, x, AccessKind::Read).unwrap();
+        let wy = b.access(n, y, AccessKind::Write).unwrap();
+        b.depend(n, rx, wy).unwrap();
+        b.cycle_budget(100_000).real_time_seconds(0.01);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn evaluate_produces_costs_and_schedule() {
+        let lib = MemLibrary::default_07um();
+        let report = evaluate(&spec(), &lib, &EvaluateOptions::default()).unwrap();
+        assert!(report.cost.on_chip_area_mm2 > 0.0);
+        assert_eq!(report.macp_cycles, 20_000);
+        assert!(!report.schedule.bodies.is_empty());
+    }
+
+    #[test]
+    fn budget_override_tightens_schedule() {
+        let lib = MemLibrary::default_07um();
+        let loose = evaluate(&spec(), &lib, &EvaluateOptions::default()).unwrap();
+        let tight = evaluate(
+            &spec(),
+            &lib,
+            &EvaluateOptions {
+                cycle_budget: Some(20_000),
+                ..EvaluateOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(tight.schedule.total_budget < loose.schedule.total_budget);
+    }
+
+    #[test]
+    fn exploration_collects_and_ranks() {
+        let lib = MemLibrary::default_07um();
+        let mut exp = Exploration::new(&lib);
+        exp.add("base", &spec(), &EvaluateOptions::default()).unwrap();
+        exp.add(
+            "tight",
+            &spec(),
+            &EvaluateOptions {
+                cycle_budget: Some(20_000),
+                ..EvaluateOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(exp.reports().len(), 2);
+        assert!(exp.best(1.0, 1.0).is_some());
+        let table = exp.to_table("Table X");
+        assert!(table.contains("Table X"));
+        assert!(table.contains("base"));
+        assert!(table.contains("tight"));
+    }
+
+    #[test]
+    fn pareto_front_drops_dominated_variants() {
+        let lib = MemLibrary::default_07um();
+        let mut exp = Exploration::new(&lib);
+        exp.add("loose", &spec(), &EvaluateOptions::default()).unwrap();
+        exp.add(
+            "tight",
+            &spec(),
+            &EvaluateOptions {
+                cycle_budget: Some(20_000),
+                ..EvaluateOptions::default()
+            },
+        )
+        .unwrap();
+        let front = exp.pareto_front();
+        assert!(!front.is_empty());
+        // Every front member is undominated.
+        for f in &front {
+            for r in exp.reports() {
+                if !std::ptr::eq(*f, r) {
+                    let strictly_dominated =
+                        r.cost.dominates(&f.cost) && !f.cost.dominates(&r.cost);
+                    assert!(!strictly_dominated);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_variant_is_not_recorded() {
+        let lib = MemLibrary::default_07um();
+        let mut exp = Exploration::new(&lib);
+        let result = exp.add(
+            "impossible",
+            &spec(),
+            &EvaluateOptions {
+                cycle_budget: Some(10),
+                ..EvaluateOptions::default()
+            },
+        );
+        assert!(result.is_err());
+        assert!(exp.reports().is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! Custom memory-hierarchy insertion (§4.4, Figure 3, Table 2).
+//!
+//! "In a memory hierarchy, like in a cache, the heavily accessed data is
+//! copied into a smaller memory" — but here the hierarchy is **fully
+//! custom**: every copy is expressed at compile time, every access is
+//! directed to one specific layer, and each basic group gets its own
+//! layer decision based on its data-reuse possibilities.
+//!
+//! [`apply_hierarchy`] transforms a specification: reads of the target
+//! group are redirected to the innermost layer, and explicit copy loops
+//! are added that fill each layer from its source (the next layer out,
+//! or the target itself). Because every copy is known at compile time,
+//! fills from off-chip memory stream as page-mode bursts (that is
+//! precisely the advantage of the custom, software-managed hierarchy
+//! over a demand-miss cache): they occupy one cycle per word and pay the
+//! discounted burst energy.
+
+use memx_ir::{AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, Placement};
+
+use crate::ExploreError;
+
+/// One candidate layer of a custom memory hierarchy, ordered from the
+/// data-path side outwards (layer 0 first, like Figure 3's `ylocal`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyLayer {
+    /// Name of the new basic group (e.g. `"yhier"`).
+    pub name: String,
+    /// Layer capacity in words.
+    pub words: u64,
+    /// Ports the layer memory must offer (Figure 3's `yhier` is
+    /// "5K 2-port": it is filled while being read).
+    pub ports: u32,
+    /// Cumulative data reuse: how many original reads one word served by
+    /// this layer covers. Fill traffic into the layer is
+    /// `original reads / reuse`.
+    pub reuse: f64,
+}
+
+impl HierarchyLayer {
+    /// Creates a layer.
+    pub fn new(name: impl Into<String>, words: u64, ports: u32, reuse: f64) -> Self {
+        HierarchyLayer {
+            name: name.into(),
+            words,
+            ports,
+            reuse,
+        }
+    }
+}
+
+/// Result of a hierarchy transform.
+#[derive(Debug, Clone)]
+pub struct HierarchySpec {
+    /// The transformed specification.
+    pub spec: AppSpec,
+    /// The new layer groups, innermost first.
+    pub layers: Vec<BasicGroupId>,
+}
+
+/// Inserts a custom memory hierarchy for `target`.
+///
+/// All read accesses to `target` are redirected to `layers[0]`; each
+/// layer gains a copy loop filling it from the next layer out (or from
+/// `target` for the outermost). Writes to `target` are unaffected
+/// (write-through, as in Figure 3 where the arrows point from the large
+/// memory towards the data paths).
+///
+/// Passing an empty `layers` returns the spec unchanged (the "no
+/// hierarchy" alternative of Table 2).
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BadTransform`] when a layer is not smaller
+/// than the target, reuse factors are not at least 1 and increasing
+/// outwards, or the target has no reads to serve.
+pub fn apply_hierarchy(
+    spec: &AppSpec,
+    target: BasicGroupId,
+    layers: &[HierarchyLayer],
+) -> Result<HierarchySpec, ExploreError> {
+    if layers.is_empty() {
+        return Ok(HierarchySpec {
+            spec: spec.clone(),
+            layers: Vec::new(),
+        });
+    }
+    let target_group = spec.group(target);
+    for l in layers {
+        if l.words >= target_group.words() {
+            return Err(ExploreError::BadTransform {
+                reason: format!(
+                    "layer `{}` ({} words) not smaller than target `{}` ({})",
+                    l.name,
+                    l.words,
+                    target_group.name(),
+                    target_group.words()
+                ),
+            });
+        }
+        if l.reuse < 1.0 {
+            return Err(ExploreError::BadTransform {
+                reason: format!("layer `{}` reuse {} below 1", l.name, l.reuse),
+            });
+        }
+        if l.ports == 0 {
+            return Err(ExploreError::BadTransform {
+                reason: format!("layer `{}` needs at least one port", l.name),
+            });
+        }
+    }
+    for pair in layers.windows(2) {
+        if pair[1].words <= pair[0].words || pair[1].reuse < pair[0].reuse {
+            return Err(ExploreError::BadTransform {
+                reason: "layers must grow in size and reuse towards the target".into(),
+            });
+        }
+    }
+    let (reads, _writes) = spec.total_accesses(target);
+    if reads <= 0.0 {
+        return Err(ExploreError::BadTransform {
+            reason: format!("target `{}` has no reads to serve", target_group.name()),
+        });
+    }
+
+    // Rebuild: original groups + one new group per layer.
+    let mut b = AppSpecBuilder::new(spec.name());
+    for g in spec.basic_groups() {
+        b.basic_group_full(g.name(), g.words(), g.bitwidth(), g.placement(), g.min_ports())?;
+    }
+    let mut layer_ids = Vec::with_capacity(layers.len());
+    for l in layers {
+        layer_ids.push(b.basic_group_full(
+            &l.name,
+            l.words,
+            target_group.bitwidth(),
+            Placement::OnChip,
+            l.ports,
+        )?);
+    }
+
+    // Copy the nests, redirecting target reads to the innermost layer.
+    let inner = layer_ids[0];
+    for nest in spec.loop_nests() {
+        let nid = b.loop_nest(nest.name(), nest.iterations())?;
+        for a in nest.accesses() {
+            let group = if a.group() == target && a.kind().is_read() {
+                inner
+            } else {
+                a.group()
+            };
+            b.access_full(nid, group, a.kind(), a.weight(), a.is_burst())?;
+        }
+        for e in nest.dependencies() {
+            b.depend(nid, e.from, e.to)?;
+        }
+    }
+
+    // Copy loops, innermost first: layer i fills from layer i+1 (or the
+    // target), with fill traffic = original reads / cumulative reuse.
+    for (i, l) in layers.iter().enumerate() {
+        let fills = (reads / l.reuse).round().max(1.0) as u64;
+        let (src, src_off_chip) = if i + 1 < layers.len() {
+            (layer_ids[i + 1], false)
+        } else {
+            (target, target_group.placement() == Placement::OffChip)
+        };
+        let burst = src_off_chip;
+        let nid = b.loop_nest(format!("copy_{}", l.name), fills)?;
+        let r = b.access_full(nid, src, AccessKind::Read, 1.0, burst)?;
+        let w = b.access_full(nid, layer_ids[i], AccessKind::Write, 1.0, false)?;
+        b.depend(nid, r, w)?;
+    }
+
+    b.cycle_budget(spec.cycle_budget())
+        .real_time_seconds(spec.real_time_seconds());
+    Ok(HierarchySpec {
+        spec: b.build()?,
+        layers: layer_ids,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memx_ir::AppSpecBuilder;
+
+    fn frame_spec() -> (AppSpec, BasicGroupId) {
+        let mut b = AppSpecBuilder::new("t");
+        let image = b
+            .basic_group_placed("image", 1 << 20, 8, Placement::OffChip)
+            .unwrap();
+        let n = b.loop_nest("scan", 1 << 20).unwrap();
+        for _ in 0..4 {
+            b.access(n, image, AccessKind::Read).unwrap();
+        }
+        b.access(n, image, AccessKind::Write).unwrap();
+        b.cycle_budget(40 << 20);
+        (b.build().unwrap(), image)
+    }
+
+    fn ylocal() -> HierarchyLayer {
+        HierarchyLayer::new("ylocal", 12, 2, 2.0)
+    }
+
+    fn yhier() -> HierarchyLayer {
+        HierarchyLayer::new("yhier", 5 * 1024, 2, 4.0)
+    }
+
+    #[test]
+    fn empty_layer_list_is_identity() {
+        let (spec, image) = frame_spec();
+        let h = apply_hierarchy(&spec, image, &[]).unwrap();
+        assert_eq!(h.spec, spec);
+        assert!(h.layers.is_empty());
+    }
+
+    #[test]
+    fn reads_are_redirected_to_inner_layer() {
+        let (spec, image) = frame_spec();
+        let h = apply_hierarchy(&spec, image, &[ylocal()]).unwrap();
+        let local = h.layers[0];
+        let (lr, lw) = h.spec.total_accesses(local);
+        // All 4 reads/iteration served by the layer.
+        assert_eq!(lr, 4.0 * (1 << 20) as f64);
+        // Fills: reads / reuse 2.
+        assert_eq!(lw, 2.0 * (1 << 20) as f64);
+        // The target keeps its writes plus the fill reads.
+        let (tr, tw) = h.spec.total_accesses(image);
+        assert_eq!(tw, (1 << 20) as f64);
+        assert_eq!(tr, 2.0 * (1 << 20) as f64);
+    }
+
+    #[test]
+    fn two_layer_chain_routes_fills_through_outer_layer() {
+        let (spec, image) = frame_spec();
+        let h = apply_hierarchy(&spec, image, &[ylocal(), yhier()]).unwrap();
+        let (inner, outer) = (h.layers[0], h.layers[1]);
+        let reads = 4.0 * (1 << 20) as f64;
+        let (ir, iw) = h.spec.total_accesses(inner);
+        assert_eq!(ir, reads);
+        assert_eq!(iw, reads / 2.0);
+        let (or_, ow) = h.spec.total_accesses(outer);
+        // Outer serves the inner fills and is filled at reads/4.
+        assert_eq!(or_, reads / 2.0);
+        assert_eq!(ow, reads / 4.0);
+        // Off-chip read traffic shrinks to reads/4.
+        let (tr, _) = h.spec.total_accesses(image);
+        assert_eq!(tr, reads / 4.0);
+    }
+
+    #[test]
+    fn off_chip_fills_are_bursts_on_chip_fills_are_not() {
+        let (spec, image) = frame_spec();
+        let single = apply_hierarchy(&spec, image, &[ylocal()]).unwrap();
+        let copy_nest = single
+            .spec
+            .loop_nests()
+            .iter()
+            .find(|n| n.name() == "copy_ylocal")
+            .unwrap();
+        // Fill from the off-chip frame store: page-mode burst.
+        assert!(copy_nest.accesses()[0].is_burst());
+        let chain = apply_hierarchy(&spec, image, &[ylocal(), yhier()]).unwrap();
+        let inner_copy = chain
+            .spec
+            .loop_nests()
+            .iter()
+            .find(|n| n.name() == "copy_ylocal")
+            .unwrap();
+        // Fill from the on-chip yhier layer: plain SRAM access.
+        assert!(!inner_copy.accesses()[0].is_burst());
+        let outer_copy = chain
+            .spec
+            .loop_nests()
+            .iter()
+            .find(|n| n.name() == "copy_yhier")
+            .unwrap();
+        assert!(outer_copy.accesses()[0].is_burst());
+    }
+
+    #[test]
+    fn layer_groups_are_on_chip_with_declared_ports() {
+        let (spec, image) = frame_spec();
+        let h = apply_hierarchy(&spec, image, &[yhier()]).unwrap();
+        let g = h.spec.group(h.layers[0]);
+        assert_eq!(g.placement(), Placement::OnChip);
+        assert_eq!(g.min_ports(), 2);
+        assert_eq!(g.bitwidth(), 8);
+    }
+
+    #[test]
+    fn invalid_layers_rejected() {
+        let (spec, image) = frame_spec();
+        // Not smaller than target.
+        let huge = HierarchyLayer::new("huge", 1 << 20, 1, 2.0);
+        assert!(apply_hierarchy(&spec, image, &[huge]).is_err());
+        // Reuse below 1.
+        let silly = HierarchyLayer::new("s", 16, 1, 0.5);
+        assert!(apply_hierarchy(&spec, image, &[silly]).is_err());
+        // Wrong ordering (outer smaller than inner).
+        assert!(apply_hierarchy(&spec, image, &[yhier(), ylocal()]).is_err());
+        // Zero ports.
+        let dead = HierarchyLayer::new("d", 16, 0, 2.0);
+        assert!(apply_hierarchy(&spec, image, &[dead]).is_err());
+    }
+
+    #[test]
+    fn write_only_target_rejected() {
+        let mut b = AppSpecBuilder::new("t");
+        let g = b
+            .basic_group_placed("g", 1024, 8, Placement::OffChip)
+            .unwrap();
+        let n = b.loop_nest("l", 10).unwrap();
+        b.access(n, g, AccessKind::Write).unwrap();
+        b.cycle_budget(1000);
+        let spec = b.build().unwrap();
+        assert!(apply_hierarchy(&spec, g, &[ylocal()]).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Specification pruning (§4.1).
+//!
+//! "The tools simply don't consider scalar-level processing which isn't
+//! related to memory transfers, and loops which hardly contribute to the
+//! total cycle count." This stage drops loop nests whose contribution to
+//! the total access count falls below a threshold, and reports basic
+//! groups that end up unreferenced (scalar-level data the later stages
+//! can ignore).
+
+use memx_ir::{AppSpec, BasicGroupId};
+
+use crate::ExploreError;
+
+/// Outcome of pruning: the focused spec plus a record of what was cut.
+#[derive(Debug, Clone)]
+pub struct PruneReport {
+    /// The pruned specification.
+    pub spec: AppSpec,
+    /// Names of loop nests removed (below the contribution threshold).
+    pub dropped_nests: Vec<String>,
+    /// Groups no longer accessed by any remaining nest; the memory
+    /// stages treat them as foreground (scalar-level) data.
+    pub scalar_groups: Vec<BasicGroupId>,
+    /// Fraction of total accesses retained (0, 1].
+    pub retained_fraction: f64,
+}
+
+/// Prunes loop nests contributing less than `min_share` (e.g. `0.001`)
+/// of the total access count.
+///
+/// Basic groups are never removed — ids stay stable across pruning so
+/// later transforms can still refer to them — but groups left without
+/// accesses are listed in [`PruneReport::scalar_groups`].
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BadTransform`] if `min_share` is not in
+/// `[0, 1)`.
+pub fn prune(spec: &AppSpec, min_share: f64) -> Result<PruneReport, ExploreError> {
+    if !(0.0..1.0).contains(&min_share) {
+        return Err(ExploreError::BadTransform {
+            reason: format!("min_share {min_share} outside [0, 1)"),
+        });
+    }
+    let total: f64 = spec.total_access_count();
+    // Rebuild from scratch: keep qualifying nests only.
+    let mut kept_builder = memx_ir::AppSpecBuilder::new(spec.name());
+    for g in spec.basic_groups() {
+        kept_builder.basic_group_full(
+            g.name(),
+            g.words(),
+            g.bitwidth(),
+            g.placement(),
+            g.min_ports(),
+        )?;
+    }
+    let mut dropped = Vec::new();
+    let mut retained_accesses = 0.0;
+    for nest in spec.loop_nests() {
+        let weight: f64 = nest
+            .accesses()
+            .iter()
+            .map(|a| a.weight() * nest.iterations() as f64)
+            .sum();
+        if total > 0.0 && weight / total < min_share {
+            dropped.push(nest.name().to_owned());
+            continue;
+        }
+        retained_accesses += weight;
+        let id = kept_builder.loop_nest(nest.name(), nest.iterations())?;
+        for a in nest.accesses() {
+            kept_builder.access_full(id, a.group(), a.kind(), a.weight(), a.is_burst())?;
+        }
+        for e in nest.dependencies() {
+            kept_builder.depend(id, e.from, e.to)?;
+        }
+    }
+    kept_builder
+        .cycle_budget(spec.cycle_budget())
+        .real_time_seconds(spec.real_time_seconds());
+    let pruned = kept_builder.build()?;
+    let scalar_groups = pruned
+        .basic_groups()
+        .iter()
+        .filter(|g| {
+            let (r, w) = pruned.total_accesses(g.id());
+            r + w == 0.0
+        })
+        .map(|g| g.id())
+        .collect();
+    Ok(PruneReport {
+        spec: pruned,
+        dropped_nests: dropped,
+        scalar_groups,
+        retained_fraction: if total > 0.0 {
+            retained_accesses / total
+        } else {
+            1.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memx_ir::{AccessKind, AppSpecBuilder};
+
+    fn spec_with_minor_nest() -> AppSpec {
+        let mut b = AppSpecBuilder::new("t");
+        let big = b.basic_group("big", 1024, 8).unwrap();
+        let tiny = b.basic_group("tiny", 16, 8).unwrap();
+        let hot = b.loop_nest("hot", 100_000).unwrap();
+        b.access(hot, big, AccessKind::Read).unwrap();
+        let cold = b.loop_nest("cold", 3).unwrap();
+        b.access(cold, tiny, AccessKind::Write).unwrap();
+        b.cycle_budget(1_000_000);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cold_nests_are_dropped() {
+        let spec = spec_with_minor_nest();
+        let report = prune(&spec, 0.001).unwrap();
+        assert_eq!(report.dropped_nests, vec!["cold".to_string()]);
+        assert_eq!(report.spec.loop_nests().len(), 1);
+        assert!(report.retained_fraction > 0.999);
+    }
+
+    #[test]
+    fn unreferenced_groups_become_scalar() {
+        let spec = spec_with_minor_nest();
+        let report = prune(&spec, 0.001).unwrap();
+        assert_eq!(report.scalar_groups.len(), 1);
+        let name = report.spec.group(report.scalar_groups[0]).name();
+        assert_eq!(name, "tiny");
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything() {
+        let spec = spec_with_minor_nest();
+        let report = prune(&spec, 0.0).unwrap();
+        assert!(report.dropped_nests.is_empty());
+        assert_eq!(report.spec.loop_nests().len(), 2);
+        assert_eq!(report.retained_fraction, 1.0);
+    }
+
+    #[test]
+    fn bad_threshold_rejected() {
+        let spec = spec_with_minor_nest();
+        assert!(prune(&spec, 1.0).is_err());
+        assert!(prune(&spec, -0.1).is_err());
+    }
+
+    #[test]
+    fn group_ids_are_stable() {
+        let spec = spec_with_minor_nest();
+        let report = prune(&spec, 0.001).unwrap();
+        assert_eq!(
+            report.spec.basic_groups().len(),
+            spec.basic_groups().len()
+        );
+        for (a, b) in spec
+            .basic_groups()
+            .iter()
+            .zip(report.spec.basic_groups())
+        {
+            assert_eq!(a.name(), b.name());
+        }
+    }
+}

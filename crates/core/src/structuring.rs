@@ -1,0 +1,625 @@
+//! Basic-group (re)structuring: compaction and merging (§4.3, Figure 2).
+//!
+//! * **Compaction** packs `k` words of a narrow array into one wider
+//!   word: reads that fetch several (neighbouring) words coalesce into
+//!   fewer wider reads, but every write becomes a read-modify-write to
+//!   preserve the other packed words.
+//! * **Merging** combines two arrays into one array of structs: reads
+//!   that fetch both arrays at the same index collapse into one access,
+//!   but a write to only one field needs an extra read of the other
+//!   field.
+//!
+//! Both transforms trade access count against bit-width matching — the
+//! exploration of §4.3 evaluates the three alternatives through the
+//! physical-memory-management pipeline.
+
+use std::collections::BTreeSet;
+
+use memx_ir::{AccessId, AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, LoopNest, Placement};
+
+use crate::ExploreError;
+
+/// Result of a structuring transform.
+#[derive(Debug, Clone)]
+pub struct StructuredSpec {
+    /// The transformed specification.
+    pub spec: AppSpec,
+    /// The group that replaced the restructured one(s).
+    pub new_group: BasicGroupId,
+}
+
+/// One planned access of a rewritten loop body.
+struct PlannedAccess {
+    group: usize, // index into the new group table
+    kind: AccessKind,
+    weight: f64,
+    burst: bool,
+    /// Old accesses this statement replaces (dependency inheritance).
+    sources: Vec<AccessId>,
+    /// Extra intra-plan dependencies: indices of planned accesses that
+    /// must precede this one (e.g. the read of a read-modify-write).
+    after: Vec<usize>,
+}
+
+/// New-group table entry used during rebuilds.
+struct GroupDef {
+    name: String,
+    words: u64,
+    bitwidth: u32,
+    placement: Placement,
+    min_ports: u32,
+}
+
+/// Rebuilds a spec with the given new group table and per-nest access
+/// plans. `plan_fn` receives each old nest and produces the planned
+/// accesses; old dependency edges are re-created between the planned
+/// statements that inherit their endpoints.
+fn rebuild(
+    spec: &AppSpec,
+    groups: Vec<GroupDef>,
+    mut plan_fn: impl FnMut(&LoopNest) -> Vec<PlannedAccess>,
+) -> Result<AppSpec, ExploreError> {
+    let mut b = AppSpecBuilder::new(spec.name());
+    let mut ids = Vec::with_capacity(groups.len());
+    for g in &groups {
+        ids.push(b.basic_group_full(&g.name, g.words, g.bitwidth, g.placement, g.min_ports)?);
+    }
+    for nest in spec.loop_nests() {
+        let plan = plan_fn(nest);
+        let nid = b.loop_nest(nest.name(), nest.iterations())?;
+        // Old access -> planned statement index.
+        let mut owner: Vec<Option<usize>> = vec![None; nest.accesses().len()];
+        let mut new_ids = Vec::with_capacity(plan.len());
+        for (pi, p) in plan.iter().enumerate() {
+            let aid = b.access_full(nid, ids[p.group], p.kind, p.weight, p.burst)?;
+            new_ids.push(aid);
+            for &src in &p.sources {
+                owner[src.index()] = Some(pi);
+            }
+        }
+        let mut edges: BTreeSet<(AccessId, AccessId)> = BTreeSet::new();
+        for e in nest.dependencies() {
+            if let (Some(su), Some(sv)) = (owner[e.from.index()], owner[e.to.index()]) {
+                if su != sv {
+                    edges.insert((new_ids[su], new_ids[sv]));
+                }
+            }
+        }
+        for (pi, p) in plan.iter().enumerate() {
+            for &pre in &p.after {
+                edges.insert((new_ids[pre], new_ids[pi]));
+            }
+        }
+        for (u, v) in edges {
+            b.depend(nid, u, v)?;
+        }
+    }
+    b.cycle_budget(spec.cycle_budget())
+        .real_time_seconds(spec.real_time_seconds());
+    Ok(b.build()?)
+}
+
+/// Keeps every group of `spec` as-is in a new group table.
+fn identity_groups(spec: &AppSpec) -> Vec<GroupDef> {
+    spec.basic_groups()
+        .iter()
+        .map(|g| GroupDef {
+            name: g.name().to_owned(),
+            words: g.words(),
+            bitwidth: g.bitwidth(),
+            placement: g.placement(),
+            min_ports: g.min_ports(),
+        })
+        .collect()
+}
+
+/// Plans an access that copies an old one verbatim.
+fn passthrough(a: &memx_ir::Access) -> PlannedAccess {
+    PlannedAccess {
+        group: a.group().index(),
+        kind: a.kind(),
+        weight: a.weight(),
+        burst: a.is_burst(),
+        sources: vec![a.id()],
+        after: Vec::new(),
+    }
+}
+
+/// Basic-group **compaction** (Figure 2a): packs `factor` words of
+/// `group` into one word of `factor x bitwidth` bits.
+///
+/// Per loop body, read statements coalesce in groups of `factor`
+/// (neighbouring narrow words are fetched by one wide read); every write
+/// statement gains a preceding read (read-modify-write).
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BadTransform`] if `factor < 2` or the widened
+/// word would exceed 64 bits.
+pub fn compact(
+    spec: &AppSpec,
+    group: BasicGroupId,
+    factor: u32,
+) -> Result<StructuredSpec, ExploreError> {
+    if factor < 2 {
+        return Err(ExploreError::BadTransform {
+            reason: format!("compaction factor {factor} must be >= 2"),
+        });
+    }
+    let target = spec.group(group);
+    let new_width = target.bitwidth() * factor;
+    if new_width > 64 {
+        return Err(ExploreError::BadTransform {
+            reason: format!(
+                "compacted width {new_width} exceeds 64 bits for `{}`",
+                target.name()
+            ),
+        });
+    }
+    let mut groups = identity_groups(spec);
+    groups[group.index()] = GroupDef {
+        name: format!("{}_c{}", target.name(), factor),
+        words: target.words().div_ceil(u64::from(factor)),
+        bitwidth: new_width,
+        placement: target.placement(),
+        min_ports: target.min_ports(),
+    };
+
+    let spec2 = rebuild(spec, groups, |nest| {
+        let mut plan: Vec<PlannedAccess> = Vec::new();
+        let mut pending_reads: Vec<&memx_ir::Access> = Vec::new();
+        let flush = |plan: &mut Vec<PlannedAccess>, pending: &mut Vec<&memx_ir::Access>| {
+            if pending.is_empty() {
+                return;
+            }
+            let weight = pending
+                .iter()
+                .map(|a| a.weight())
+                .fold(0.0f64, f64::max);
+            plan.push(PlannedAccess {
+                group: group.index(),
+                kind: AccessKind::Read,
+                weight,
+                burst: pending.iter().all(|a| a.is_burst()),
+                sources: pending.iter().map(|a| a.id()).collect(),
+                after: Vec::new(),
+            });
+            pending.clear();
+        };
+        for a in nest.accesses() {
+            if a.group() != group {
+                plan.push(passthrough(a));
+                continue;
+            }
+            match a.kind() {
+                AccessKind::Read => {
+                    pending_reads.push(a);
+                    if pending_reads.len() == factor as usize {
+                        flush(&mut plan, &mut pending_reads);
+                    }
+                }
+                AccessKind::Write => {
+                    // Read-modify-write: fetch the wide word first.
+                    let rmw_idx = plan.len();
+                    plan.push(PlannedAccess {
+                        group: group.index(),
+                        kind: AccessKind::Read,
+                        weight: a.weight(),
+                        burst: a.is_burst(),
+                        sources: Vec::new(),
+                        after: Vec::new(),
+                    });
+                    plan.push(PlannedAccess {
+                        group: group.index(),
+                        kind: AccessKind::Write,
+                        weight: a.weight(),
+                        burst: a.is_burst(),
+                        sources: vec![a.id()],
+                        after: vec![rmw_idx],
+                    });
+                }
+            }
+        }
+        flush(&mut plan, &mut pending_reads);
+        plan
+    })?;
+    Ok(StructuredSpec {
+        spec: spec2,
+        new_group: group,
+    })
+}
+
+/// Basic-group **merging** (Figure 2b): combines `first` and `second`
+/// into one array of two-field records.
+///
+/// Per loop body, reads of the two groups pair up (one fetch returns
+/// both fields) and so do writes; an unpaired write to a single field
+/// gains a preceding read of the record (to preserve the other field).
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BadTransform`] if the groups are the same, if
+/// their placements differ, or the record width would exceed 64 bits.
+pub fn merge(
+    spec: &AppSpec,
+    first: BasicGroupId,
+    second: BasicGroupId,
+) -> Result<StructuredSpec, ExploreError> {
+    if first == second {
+        return Err(ExploreError::BadTransform {
+            reason: "cannot merge a group with itself".into(),
+        });
+    }
+    let (g1, g2) = (spec.group(first), spec.group(second));
+    if g1.placement() != g2.placement() {
+        return Err(ExploreError::BadTransform {
+            reason: format!(
+                "placement mismatch: `{}` is {}, `{}` is {}",
+                g1.name(),
+                g1.placement(),
+                g2.name(),
+                g2.placement()
+            ),
+        });
+    }
+    let new_width = g1.bitwidth() + g2.bitwidth();
+    if new_width > 64 {
+        return Err(ExploreError::BadTransform {
+            reason: format!("merged width {new_width} exceeds 64 bits"),
+        });
+    }
+    // The merged group takes `first`'s slot; `second`'s slot keeps a
+    // 1-word placeholder that no access references (ids stay stable).
+    let mut groups = identity_groups(spec);
+    groups[first.index()] = GroupDef {
+        name: format!("{}_{}", g1.name(), g2.name()),
+        words: g1.words().max(g2.words()),
+        bitwidth: new_width,
+        placement: g1.placement(),
+        min_ports: g1.min_ports().max(g2.min_ports()),
+    };
+    groups[second.index()].name = format!("{}_unused", g2.name());
+    groups[second.index()].words = 1;
+
+    let spec2 = rebuild(spec, groups, |nest| {
+        let mut plan: Vec<PlannedAccess> = Vec::new();
+        // Pair accesses of the two groups in program order per kind.
+        let mut open_reads: Vec<usize> = Vec::new(); // plan indices awaiting a partner
+        let mut open_read_group = first; // group of the open reads
+        let mut open_writes: Vec<usize> = Vec::new();
+        let mut open_write_group = first;
+        for a in nest.accesses() {
+            if a.group() != first && a.group() != second {
+                plan.push(passthrough(a));
+                continue;
+            }
+            match a.kind() {
+                AccessKind::Read => {
+                    if !open_reads.is_empty() && open_read_group != a.group() {
+                        // Pairs with an open read of the other field.
+                        let pi = open_reads.remove(0);
+                        plan[pi].weight = plan[pi].weight.max(a.weight());
+                        plan[pi].sources.push(a.id());
+                    } else {
+                        open_read_group = a.group();
+                        open_reads.push(plan.len());
+                        plan.push(PlannedAccess {
+                            group: first.index(),
+                            kind: AccessKind::Read,
+                            weight: a.weight(),
+                            burst: a.is_burst(),
+                            sources: vec![a.id()],
+                            after: Vec::new(),
+                        });
+                    }
+                }
+                AccessKind::Write => {
+                    if !open_writes.is_empty() && open_write_group != a.group() {
+                        let pi = open_writes.remove(0);
+                        plan[pi].weight = plan[pi].weight.max(a.weight());
+                        plan[pi].sources.push(a.id());
+                    } else {
+                        open_write_group = a.group();
+                        open_writes.push(plan.len());
+                        plan.push(PlannedAccess {
+                            group: first.index(),
+                            kind: AccessKind::Write,
+                            weight: a.weight(),
+                            burst: a.is_burst(),
+                            sources: vec![a.id()],
+                            after: Vec::new(),
+                        });
+                    }
+                }
+            }
+        }
+        // Unpaired writes become read-modify-writes.
+        for pi in open_writes {
+            let rmw_idx = plan.len();
+            plan.push(PlannedAccess {
+                group: first.index(),
+                kind: AccessKind::Read,
+                weight: plan[pi].weight,
+                burst: plan[pi].burst,
+                sources: Vec::new(),
+                after: Vec::new(),
+            });
+            plan[pi].after.push(rmw_idx);
+        }
+        plan
+    })?;
+    Ok(StructuredSpec {
+        spec: spec2,
+        new_group: first,
+    })
+}
+
+/// Basic-group **splitting** (§4.1): stores the two halves of `group`
+/// in independent groups, doubling the available bandwidth for it.
+///
+/// Accesses distribute over the halves: read statements alternate
+/// between the halves (a loop touching the array sequentially hits each
+/// half with every other access); writes likewise. Splitting never
+/// changes the total access count — it buys *parallelism* (the halves
+/// can live in different memories) at the price of an extra memory and
+/// more complex addressing.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BadTransform`] if the group holds fewer than
+/// two words.
+pub fn split(spec: &AppSpec, group: BasicGroupId) -> Result<StructuredSpec, ExploreError> {
+    let target = spec.group(group);
+    if target.words() < 2 {
+        return Err(ExploreError::BadTransform {
+            reason: format!("cannot split single-word group `{}`", target.name()),
+        });
+    }
+    let mut groups = identity_groups(spec);
+    let half = target.words().div_ceil(2);
+    groups[group.index()] = GroupDef {
+        name: format!("{}_lo", target.name()),
+        words: half,
+        bitwidth: target.bitwidth(),
+        placement: target.placement(),
+        min_ports: target.min_ports(),
+    };
+    groups.push(GroupDef {
+        name: format!("{}_hi", target.name()),
+        words: target.words() - half,
+        bitwidth: target.bitwidth(),
+        placement: target.placement(),
+        min_ports: target.min_ports(),
+    });
+    let hi_index = groups.len() - 1;
+
+    let spec2 = rebuild(spec, groups, |nest| {
+        let mut toggle = false;
+        nest.accesses()
+            .iter()
+            .map(|a| {
+                if a.group() != group {
+                    return passthrough(a);
+                }
+                toggle = !toggle;
+                PlannedAccess {
+                    group: if toggle { group.index() } else { hi_index },
+                    kind: a.kind(),
+                    weight: a.weight(),
+                    burst: a.is_burst(),
+                    sources: vec![a.id()],
+                    after: Vec::new(),
+                }
+            })
+            .collect()
+    })?;
+    Ok(StructuredSpec {
+        spec: spec2,
+        new_group: group,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memx_ir::AppSpecBuilder;
+
+    /// A BTPC-like body: 4 paired reads of two arrays plus one paired
+    /// write, all at the same index.
+    fn paired_spec() -> (AppSpec, BasicGroupId, BasicGroupId) {
+        let mut b = AppSpecBuilder::new("t");
+        let pyr = b
+            .basic_group_placed("pyr", 1024, 8, Placement::OffChip)
+            .unwrap();
+        let ridge = b
+            .basic_group_placed("ridge", 1024, 2, Placement::OffChip)
+            .unwrap();
+        let n = b.loop_nest("refine", 1000).unwrap();
+        for _ in 0..4 {
+            b.access(n, pyr, AccessKind::Read).unwrap();
+            b.access(n, ridge, AccessKind::Read).unwrap();
+        }
+        let wp = b.access(n, pyr, AccessKind::Write).unwrap();
+        let wr = b.access(n, ridge, AccessKind::Write).unwrap();
+        let r0 = memx_ir::AccessId::from_index(0);
+        b.depend(n, r0, wp).unwrap();
+        b.depend(n, r0, wr).unwrap();
+        b.cycle_budget(1_000_000);
+        (b.build().unwrap(), pyr, ridge)
+    }
+
+    #[test]
+    fn merge_halves_paired_reads() {
+        let (spec, pyr, ridge) = paired_spec();
+        let before: f64 = spec.total_access_count();
+        let merged = merge(&spec, pyr, ridge).unwrap();
+        let after: f64 = merged.spec.total_access_count();
+        // 10 accesses -> 5 (4 paired reads + 1 paired write).
+        assert_eq!(before, 10_000.0);
+        assert_eq!(after, 5_000.0);
+        let g = merged.spec.group(merged.new_group);
+        assert_eq!(g.bitwidth(), 10);
+        assert_eq!(g.name(), "pyr_ridge");
+    }
+
+    #[test]
+    fn merge_preserves_dependencies() {
+        let (spec, pyr, ridge) = paired_spec();
+        let merged = merge(&spec, pyr, ridge).unwrap();
+        let nest = &merged.spec.loop_nests()[0];
+        // The write still depends on the first read.
+        assert!(!nest.dependencies().is_empty());
+        merged.spec.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_unpaired_write_needs_rmw() {
+        let mut b = AppSpecBuilder::new("t");
+        let a = b.basic_group("a", 64, 8).unwrap();
+        let c = b.basic_group("c", 64, 8).unwrap();
+        let n = b.loop_nest("l", 10).unwrap();
+        b.access(n, a, AccessKind::Write).unwrap(); // write only field a
+        b.access(n, c, AccessKind::Read).unwrap(); // read only field c
+        b.cycle_budget(1000);
+        let spec = b.build().unwrap();
+        let merged = merge(&spec, a, c).unwrap();
+        let nest = &merged.spec.loop_nests()[0];
+        // write + read + extra RMW read = 3 accesses.
+        assert_eq!(nest.accesses().len(), 3);
+        let reads = nest
+            .accesses()
+            .iter()
+            .filter(|x| x.kind().is_read())
+            .count();
+        assert_eq!(reads, 2);
+    }
+
+    #[test]
+    fn merge_rejects_same_group_and_mixed_placement() {
+        let (spec, pyr, _) = paired_spec();
+        assert!(merge(&spec, pyr, pyr).is_err());
+        let mut b = AppSpecBuilder::new("t");
+        let on = b
+            .basic_group_placed("on", 16, 8, Placement::OnChip)
+            .unwrap();
+        let off = b
+            .basic_group_placed("off", 16, 8, Placement::OffChip)
+            .unwrap();
+        b.cycle_budget(10);
+        let s = b.build().unwrap();
+        assert!(merge(&s, on, off).is_err());
+    }
+
+    #[test]
+    fn compact_coalesces_reads_and_adds_rmw() {
+        let (spec, _, ridge) = paired_spec();
+        let compacted = compact(&spec, ridge, 4).unwrap();
+        let g = compacted.spec.group(compacted.new_group);
+        assert_eq!(g.bitwidth(), 8);
+        assert_eq!(g.words(), 256);
+        let nest = &compacted.spec.loop_nests()[0];
+        // ridge: 4 reads -> 1; write -> RMW read + write.
+        let ridge_accesses = nest
+            .accesses()
+            .iter()
+            .filter(|a| a.group() == compacted.new_group)
+            .count();
+        assert_eq!(ridge_accesses, 3);
+        compacted.spec.validate().unwrap();
+    }
+
+    #[test]
+    fn compact_factor_must_be_sane() {
+        let (spec, _, ridge) = paired_spec();
+        assert!(compact(&spec, ridge, 1).is_err());
+        assert!(compact(&spec, ridge, 64).is_err()); // 2 x 64 > 64 bits
+    }
+
+    #[test]
+    fn compact_reduces_total_accesses_modestly() {
+        let (spec, _, ridge) = paired_spec();
+        let before = spec.total_access_count();
+        let compacted = compact(&spec, ridge, 3).unwrap();
+        let after = compacted.spec.total_access_count();
+        // Compaction helps less than merging (the paper's Table 1).
+        assert!(after < before);
+        let merged = merge(&spec, memx_ir::BasicGroupId::from_index(0), ridge)
+            .unwrap()
+            .spec
+            .total_access_count();
+        assert!(merged < after);
+    }
+
+    #[test]
+    fn untouched_groups_pass_through() {
+        let (spec, pyr, ridge) = paired_spec();
+        let compacted = compact(&spec, ridge, 4).unwrap();
+        let (r, w) = compacted.spec.total_accesses(pyr);
+        assert_eq!((r, w), spec.total_accesses(pyr));
+    }
+
+    #[test]
+    fn split_conserves_accesses_and_capacity() {
+        let (spec, pyr, _) = paired_spec();
+        let before = spec.total_access_count();
+        let (pr, pw) = spec.total_accesses(pyr);
+        let halves = split(&spec, pyr).unwrap();
+        assert_eq!(halves.spec.total_access_count(), before);
+        let lo = halves.spec.group_by_name("pyr_lo").unwrap();
+        let hi = halves.spec.group_by_name("pyr_hi").unwrap();
+        assert_eq!(lo.words() + hi.words(), 1024);
+        assert_eq!(lo.bitwidth(), 8);
+        let (lr, lw) = halves.spec.total_accesses(lo.id());
+        let (hr, hw) = halves.spec.total_accesses(hi.id());
+        assert!((lr + hr - pr).abs() < 1e-9);
+        assert!((lw + hw - pw).abs() < 1e-9);
+        halves.spec.validate().unwrap();
+    }
+
+    #[test]
+    fn split_distributes_accesses_across_halves() {
+        let (spec, pyr, _) = paired_spec();
+        let halves = split(&spec, pyr).unwrap();
+        let lo = halves.spec.group_by_name("pyr_lo").unwrap().id();
+        let hi = halves.spec.group_by_name("pyr_hi").unwrap().id();
+        let (lr, _) = halves.spec.total_accesses(lo);
+        let (hr, _) = halves.spec.total_accesses(hi);
+        // 4 reads alternate 2/2 over the halves.
+        assert!(lr > 0.0 && hr > 0.0);
+        assert!((lr - hr).abs() / (lr + hr) < 0.5);
+    }
+
+    #[test]
+    fn split_buys_bandwidth() {
+        // Under a 2-cycle budget two same-group reads self-conflict; the
+        // split halves do not (they can live in separate memories).
+        let mut b = AppSpecBuilder::new("t");
+        let x = b.basic_group("x", 64, 8).unwrap();
+        let n = b.loop_nest("l", 10).unwrap();
+        b.access(n, x, AccessKind::Read).unwrap();
+        b.access(n, x, AccessKind::Read).unwrap();
+        b.cycle_budget(10).real_time_seconds(0.01);
+        let spec = b.build().unwrap();
+        let before = crate::scbd::distribute(&spec).unwrap();
+        assert_eq!(before.required_ports(|g| g == x), 2);
+        let halves = split(&spec, x).unwrap();
+        let after = crate::scbd::distribute(&halves.spec).unwrap();
+        let max_self = halves
+            .spec
+            .basic_groups()
+            .iter()
+            .map(|g| after.required_ports(|gg| gg == g.id()))
+            .max()
+            .unwrap();
+        assert_eq!(max_self, 1);
+    }
+
+    #[test]
+    fn split_rejects_single_word_groups() {
+        let mut b = AppSpecBuilder::new("t");
+        let g = b.basic_group("g", 1, 8).unwrap();
+        b.cycle_budget(10);
+        let spec = b.build().unwrap();
+        assert!(split(&spec, g).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests on the exploration stages: scheduling and
+//! assignment invariants over random specifications.
+
+use memx_core::alloc::{assign, AllocOptions, MemoryKind};
+use memx_core::{macp, scbd};
+use memx_ir::{AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, Placement};
+use memx_memlib::MemLibrary;
+use proptest::prelude::*;
+
+/// Random schedulable spec: a few groups (mixed placement), a few nests
+/// with random chains, and a generous budget.
+fn arb_spec() -> impl Strategy<Value = AppSpec> {
+    let group = (1u64..5_000, 1u32..24, prop::bool::ANY);
+    let access = (0usize..8, prop::bool::ANY);
+    let nest = (1u64..200, prop::collection::vec(access, 1..7), prop::bool::ANY);
+    (
+        prop::collection::vec(group, 1..5),
+        prop::collection::vec(nest, 1..4),
+    )
+        .prop_map(|(groups, nests)| {
+            let mut b = AppSpecBuilder::new("prop");
+            let ids: Vec<BasicGroupId> = groups
+                .iter()
+                .enumerate()
+                .map(|(i, &(words, width, off))| {
+                    let placement = if off && words > 1000 {
+                        Placement::OffChip
+                    } else {
+                        Placement::Any
+                    };
+                    b.basic_group_placed(format!("g{i}"), words, width, placement)
+                        .expect("group params in range")
+                })
+                .collect();
+            for (n, (iters, accesses, chain)) in nests.iter().enumerate() {
+                let nid = b.loop_nest(format!("n{n}"), *iters).expect("iters > 0");
+                let mut prev = None;
+                for &(gidx, write) in accesses {
+                    let kind = if write {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    let a = b
+                        .access(nid, ids[gidx % ids.len()], kind)
+                        .expect("valid access");
+                    if *chain {
+                        if let Some(p) = prev {
+                            b.depend(nid, p, a).expect("chains are acyclic");
+                        }
+                    }
+                    prev = Some(a);
+                }
+            }
+            // Budget: generous enough for full serialization everywhere
+            // (4 cycles covers the worst access duration).
+            let budget: u64 = nests
+                .iter()
+                .map(|(iters, accesses, _)| iters * accesses.len() as u64 * 4)
+                .sum::<u64>()
+                .max(1);
+            b.cycle_budget(budget);
+            b.build().expect("constructed spec is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schedules_fit_their_budgets_and_respect_durations(spec in arb_spec()) {
+        let result = scbd::distribute(&spec).expect("generous budget schedules");
+        prop_assert!(result.used_cycles <= spec.cycle_budget());
+        for body in &result.bodies {
+            let nest = spec.nest(body.nest);
+            // Total occupancy equals the sum of access durations.
+            let occupancy: usize = body.occupancy.iter().map(Vec::len).sum();
+            let durations: u64 = nest
+                .accesses()
+                .iter()
+                .map(|a| {
+                    let off = spec.group(a.group()).placement() == Placement::OffChip;
+                    memx_memlib::timing::access_cycles(off, a.is_burst())
+                })
+                .sum();
+            prop_assert_eq!(occupancy as u64, durations);
+        }
+    }
+
+    #[test]
+    fn generous_budgets_reach_zero_pressure(spec in arb_spec()) {
+        let result = scbd::distribute(&spec).expect("schedulable");
+        for body in &result.bodies {
+            prop_assert_eq!(body.pressure(), 0.0, "body {} still pressured", body.name);
+        }
+    }
+
+    #[test]
+    fn macp_is_a_lower_bound_for_scheduling(spec in arb_spec()) {
+        let report = macp::analyze(&spec);
+        let result = scbd::distribute(&spec).expect("schedulable");
+        prop_assert!(result.used_cycles >= report.total_cycles);
+    }
+
+    #[test]
+    fn assignment_partitions_all_accessed_groups(spec in arb_spec()) {
+        let lib = MemLibrary::default_07um();
+        let schedule = scbd::distribute(&spec).expect("schedulable");
+        let org = assign(&spec, &schedule, &lib, &AllocOptions::default())
+            .expect("assignable with free allocation");
+        let mut seen = vec![false; spec.basic_groups().len()];
+        for mem in &org.memories {
+            prop_assert!(!mem.groups.is_empty());
+            for g in &mem.groups {
+                prop_assert!(!seen[g.index()], "group assigned twice");
+                seen[g.index()] = true;
+            }
+            // Memory dimensions cover the assigned groups.
+            let words: u64 = mem.groups.iter().map(|&g| spec.group(g).words()).sum();
+            prop_assert_eq!(words, mem.words);
+            let width = mem
+                .groups
+                .iter()
+                .map(|&g| spec.group(g).bitwidth())
+                .max()
+                .expect("non-empty");
+            prop_assert_eq!(width, mem.width);
+        }
+        for (i, g) in spec.basic_groups().iter().enumerate() {
+            let (r, w) = spec.total_accesses(g.id());
+            if r + w > 0.0 {
+                prop_assert!(seen[i], "accessed group {} unassigned", g.name());
+            }
+        }
+    }
+
+    #[test]
+    fn off_chip_groups_land_in_off_chip_memories(spec in arb_spec()) {
+        let lib = MemLibrary::default_07um();
+        let schedule = scbd::distribute(&spec).expect("schedulable");
+        let org = assign(&spec, &schedule, &lib, &AllocOptions::default())
+            .expect("assignable");
+        for mem in &org.memories {
+            for &g in &mem.groups {
+                let off_group = spec.group(g).placement() == Placement::OffChip;
+                let off_mem = matches!(mem.kind, MemoryKind::OffChip(_));
+                prop_assert_eq!(off_group, off_mem);
+            }
+        }
+    }
+
+    #[test]
+    fn organization_cost_is_sum_of_memory_costs(spec in arb_spec()) {
+        let lib = MemLibrary::default_07um();
+        let schedule = scbd::distribute(&spec).expect("schedulable");
+        let org = assign(&spec, &schedule, &lib, &AllocOptions::default())
+            .expect("assignable");
+        let total: memx_memlib::CostBreakdown = org.memories.iter().map(|m| m.cost).sum();
+        prop_assert!((total.on_chip_area_mm2 - org.cost.on_chip_area_mm2).abs() < 1e-9);
+        prop_assert!((total.total_power_mw() - org.cost.total_power_mw()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! Memory-access statements inside loop bodies.
+
+use std::fmt;
+
+use crate::BasicGroupId;
+
+/// Identifier of an [`Access`] *within its loop body*.
+///
+/// Access ids are only meaningful relative to the [`crate::LoopNest`] that
+/// owns them; the `n`-th access added to a body gets id `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AccessId(pub(crate) u32);
+
+impl AccessId {
+    /// Returns the dense index of this id within its body.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a dense index (see [`AccessId::index`]).
+    pub fn from_index(index: usize) -> Self {
+        AccessId(index as u32)
+    }
+}
+
+impl fmt::Display for AccessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load from the basic group.
+    Read,
+    /// A store to the basic group.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+
+    /// `true` for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        })
+    }
+}
+
+/// One memory-access statement inside a loop body.
+///
+/// An access touches exactly one [`crate::BasicGroup`]. `weight` models
+/// data-dependent conditionals: an access under an `if` that profiling
+/// shows taken 30 % of the time carries weight 0.3. The weight scales the
+/// *energy* contribution; bandwidth scheduling conservatively reserves a
+/// slot regardless (worst-case real-time behaviour, as the paper's tools
+/// must guarantee the timing constraint for every input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    pub(crate) id: AccessId,
+    pub(crate) group: BasicGroupId,
+    pub(crate) kind: AccessKind,
+    pub(crate) weight: f64,
+    pub(crate) burst: bool,
+}
+
+impl Access {
+    /// Identifier within the owning loop body.
+    pub fn id(&self) -> AccessId {
+        self.id
+    }
+
+    /// The basic group this access touches.
+    pub fn group(&self) -> BasicGroupId {
+        self.group
+    }
+
+    /// Read or write.
+    pub fn kind(&self) -> AccessKind {
+        self.kind
+    }
+
+    /// Profiled execution frequency relative to the loop body (0, 1].
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// `true` for accesses that are part of a long sequential transfer
+    /// (page-mode/burst DRAM operation). Burst accesses to off-chip
+    /// memory are faster and cheaper than random ones; the memory
+    /// hierarchy transform marks block copies this way.
+    pub fn is_burst(&self) -> bool {
+        self.burst
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}{}", self.id, self.kind, self.group)?;
+        if self.weight != 1.0 {
+            write!(f, "@{:.2}", self.weight)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Write.is_read());
+    }
+
+    #[test]
+    fn display_includes_weight_only_when_partial() {
+        let a = Access {
+            id: AccessId(0),
+            group: BasicGroupId(1),
+            kind: AccessKind::Read,
+            weight: 1.0,
+            burst: false,
+        };
+        assert_eq!(format!("{a}"), "a0:Rbg1");
+        let b = Access { weight: 0.25, ..a };
+        assert_eq!(format!("{b}"), "a0:Rbg1@0.25");
+    }
+}

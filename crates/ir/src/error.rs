@@ -1,0 +1,148 @@
+//! Error types for specification construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building an [`crate::AppSpec`] through the
+/// [`crate::AppSpecBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildSpecError {
+    /// A basic group was declared with zero words.
+    EmptyGroup {
+        /// Offending group name.
+        name: String,
+    },
+    /// A basic group was declared with a zero or oversized bit width.
+    BadBitwidth {
+        /// Offending group name.
+        name: String,
+        /// The rejected width.
+        bitwidth: u32,
+    },
+    /// A loop nest was declared with zero iterations.
+    ZeroIterations {
+        /// Offending nest name.
+        name: String,
+    },
+    /// A duplicate basic-group name.
+    DuplicateGroup {
+        /// The name used twice.
+        name: String,
+    },
+    /// An id referred to an entity that does not exist in this builder.
+    UnknownEntity {
+        /// Description of the dangling reference.
+        what: String,
+    },
+    /// An access weight outside (0, 1].
+    BadWeight {
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// A dependency edge would make the flow graph cyclic.
+    CyclicDependency {
+        /// Name of the loop nest in which the cycle was detected.
+        nest: String,
+    },
+    /// The specification has no cycle budget.
+    MissingCycleBudget,
+    /// The cycle budget cannot accommodate the critical path.
+    InfeasibleBudget {
+        /// Minimum number of cycles required by the dependency chains.
+        critical_path: u64,
+        /// The declared budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for BuildSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildSpecError::EmptyGroup { name } => {
+                write!(f, "basic group `{name}` has zero words")
+            }
+            BuildSpecError::BadBitwidth { name, bitwidth } => {
+                write!(f, "basic group `{name}` has invalid bitwidth {bitwidth} (must be 1..=64)")
+            }
+            BuildSpecError::ZeroIterations { name } => {
+                write!(f, "loop nest `{name}` has zero iterations")
+            }
+            BuildSpecError::DuplicateGroup { name } => {
+                write!(f, "basic group `{name}` declared twice")
+            }
+            BuildSpecError::UnknownEntity { what } => {
+                write!(f, "reference to unknown {what}")
+            }
+            BuildSpecError::BadWeight { weight } => {
+                write!(f, "access weight {weight} outside (0, 1]")
+            }
+            BuildSpecError::CyclicDependency { nest } => {
+                write!(f, "dependency cycle in loop nest `{nest}`")
+            }
+            BuildSpecError::MissingCycleBudget => {
+                write!(f, "specification lacks a storage cycle budget")
+            }
+            BuildSpecError::InfeasibleBudget {
+                critical_path,
+                budget,
+            } => write!(
+                f,
+                "cycle budget {budget} below memory-access critical path {critical_path}"
+            ),
+        }
+    }
+}
+
+impl Error for BuildSpecError {}
+
+/// Error raised when validating a transformed [`crate::AppSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateSpecError {
+    /// An access refers to a basic group not present in the spec.
+    DanglingGroup {
+        /// Loop nest containing the access.
+        nest: String,
+    },
+    /// A dependency edge refers to an access not present in its body.
+    DanglingAccess {
+        /// Loop nest containing the edge.
+        nest: String,
+    },
+}
+
+impl fmt::Display for ValidateSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateSpecError::DanglingGroup { nest } => {
+                write!(f, "access in `{nest}` refers to a missing basic group")
+            }
+            ValidateSpecError::DanglingAccess { nest } => {
+                write!(f, "dependency in `{nest}` refers to a missing access")
+            }
+        }
+    }
+}
+
+impl Error for ValidateSpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_punctuation() {
+        let e = BuildSpecError::EmptyGroup {
+            name: "image".into(),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("basic group"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_err<T: Error + Send + Sync + 'static>() {}
+        assert_err::<BuildSpecError>();
+        assert_err::<ValidateSpecError>();
+    }
+}

@@ -1,0 +1,169 @@
+//! Basic groups: the atomic units of background storage.
+
+use std::fmt;
+
+/// Identifier of a [`BasicGroup`] within an [`crate::AppSpec`].
+///
+/// Indices are dense and stable: the `n`-th group created through the
+/// builder gets id `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BasicGroupId(pub(crate) u32);
+
+impl BasicGroupId {
+    /// Returns the dense index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a dense index.
+    ///
+    /// Intended for tools that re-materialize ids after serializing a
+    /// specification; ids must refer to an existing group of the spec they
+    /// are used with.
+    pub fn from_index(index: usize) -> Self {
+        BasicGroupId(index as u32)
+    }
+}
+
+impl fmt::Display for BasicGroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bg{}", self.0)
+    }
+}
+
+/// Placement constraint for a basic group.
+///
+/// Most groups can be freely assigned (`Any`); very large frame stores are
+/// forced off-chip, and register-level hierarchy layers are forced on-chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// The assignment step may place the group on-chip or off-chip.
+    #[default]
+    Any,
+    /// The group must be stored in off-chip memory (e.g. a 1 M-word frame
+    /// store that cannot fit on chip).
+    OffChip,
+    /// The group must be stored on chip (e.g. a register-file hierarchy
+    /// layer or a small high-bandwidth buffer).
+    OnChip,
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Placement::Any => "any",
+            Placement::OffChip => "off-chip",
+            Placement::OnChip => "on-chip",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An independently storable unit of array data (§4.1 of the paper).
+///
+/// The data of an application is partitioned into non-overlapping basic
+/// groups "such that they can be ordered and stored independently of each
+/// other". A basic group is treated as an atomic whole by all the tools:
+/// it is assigned to exactly one memory, and structuring decisions
+/// (compaction, merging) replace groups by new groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicGroup {
+    pub(crate) id: BasicGroupId,
+    pub(crate) name: String,
+    pub(crate) words: u64,
+    pub(crate) bitwidth: u32,
+    pub(crate) placement: Placement,
+    pub(crate) min_ports: u32,
+}
+
+impl BasicGroup {
+    /// The identifier of this group.
+    pub fn id(&self) -> BasicGroupId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"image"`, `"ridge"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Width of one word in bits.
+    pub fn bitwidth(&self) -> u32 {
+        self.bitwidth
+    }
+
+    /// Total storage requirement in bits.
+    pub fn bits(&self) -> u64 {
+        self.words * u64::from(self.bitwidth)
+    }
+
+    /// Placement constraint.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Minimum number of ports the memory storing this group must offer
+    /// (default 1). Hierarchy layers that are filled concurrently with
+    /// being read — like the paper's 2-port `yhier` buffer — declare 2.
+    pub fn min_ports(&self) -> u32 {
+        self.min_ports
+    }
+}
+
+impl fmt::Display for BasicGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} x {} bit, {})",
+            self.name, self.words, self.bitwidth, self.placement
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_is_words_times_width() {
+        let g = BasicGroup {
+            id: BasicGroupId(0),
+            name: "image".into(),
+            words: 1 << 20,
+            bitwidth: 8,
+            placement: Placement::OffChip,
+            min_ports: 1,
+        };
+        assert_eq!(g.bits(), (1 << 20) * 8);
+    }
+
+    #[test]
+    fn id_round_trips_through_index() {
+        let id = BasicGroupId(7);
+        assert_eq!(BasicGroupId::from_index(id.index()), id);
+    }
+
+    #[test]
+    fn display_formats() {
+        let g = BasicGroup {
+            id: BasicGroupId(3),
+            name: "ridge".into(),
+            words: 512,
+            bitwidth: 2,
+            placement: Placement::Any,
+            min_ports: 1,
+        };
+        assert_eq!(format!("{g}"), "ridge (512 x 2 bit, any)");
+        assert_eq!(format!("{}", g.id()), "bg3");
+    }
+
+    #[test]
+    fn placement_default_is_any() {
+        assert_eq!(Placement::default(), Placement::Any);
+    }
+}

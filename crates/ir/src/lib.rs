@@ -1,0 +1,56 @@
+//! # memx-ir — pruned application-specification IR
+//!
+//! This crate defines the intermediate representation consumed by the
+//! physical-memory-management stages of `memx-core`: the *pruned system
+//! specification* of §4.1 of the paper.
+//!
+//! The IR deliberately abstracts away everything that is irrelevant to the
+//! memory organization: scalar processing is dropped, data is analyzed at
+//! the *basic group* (array) level, and control flow is reduced to loop
+//! nests with per-body memory-access flow graphs.
+//!
+//! * [`BasicGroup`] — an independently storable unit of array data
+//!   (§4.1/§4.3 of the paper).
+//! * [`Access`] — one memory-access statement inside a loop body.
+//! * [`LoopNest`] — a loop body with its iteration count and intra-body
+//!   dependency edges (the flow graph used for storage-cycle-budget
+//!   distribution and critical-path analysis).
+//! * [`AppSpec`] — the whole pruned specification, plus the real-time
+//!   constraint from which the storage cycle budget derives.
+//!
+//! # Example
+//!
+//! ```
+//! use memx_ir::{AppSpecBuilder, AccessKind};
+//!
+//! # fn main() -> Result<(), memx_ir::BuildSpecError> {
+//! let mut b = AppSpecBuilder::new("fir");
+//! let x = b.basic_group("x", 1024, 12)?;
+//! let h = b.basic_group("h", 16, 10)?;
+//! let y = b.basic_group("y", 1024, 16)?;
+//! let body = b.loop_nest("mac", 1024 * 16)?;
+//! let rx = b.access(body, x, AccessKind::Read)?;
+//! let rh = b.access(body, h, AccessKind::Read)?;
+//! let wy = b.access(body, y, AccessKind::Write)?;
+//! b.depend(body, rx, wy)?; // y written after x read
+//! b.depend(body, rh, wy)?;
+//! let spec = b.cycle_budget(40_000).real_time_seconds(1e-3).build()?;
+//! assert_eq!(spec.basic_groups().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod access;
+mod error;
+mod group;
+mod loops;
+mod spec;
+
+pub use access::{Access, AccessId, AccessKind};
+pub use error::{BuildSpecError, ValidateSpecError};
+pub use group::{BasicGroup, BasicGroupId, Placement};
+pub use loops::{DependencyEdge, LoopNest, LoopNestId};
+pub use spec::{AppSpec, AppSpecBuilder};

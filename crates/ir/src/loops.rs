@@ -1,0 +1,246 @@
+//! Loop nests and their per-body access flow graphs.
+
+use std::fmt;
+
+use crate::{Access, AccessId, AccessKind, BasicGroupId};
+
+/// Identifier of a [`LoopNest`] within an [`crate::AppSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopNestId(pub(crate) u32);
+
+impl LoopNestId {
+    /// Returns the dense index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        LoopNestId(index as u32)
+    }
+}
+
+impl fmt::Display for LoopNestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loop{}", self.0)
+    }
+}
+
+/// A dependency between two accesses of the same loop body: `from` must
+/// complete before `to` may issue.
+///
+/// These edges form the *flow graph* that storage-cycle-budget
+/// distribution balances and that bounds the memory-access critical path
+/// (§4.2, §4.5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DependencyEdge {
+    /// The access that must complete first.
+    pub from: AccessId,
+    /// The access that may only issue afterwards.
+    pub to: AccessId,
+}
+
+/// A (perfectly nested, manifest) loop nest of the pruned specification.
+///
+/// Only the product iteration count matters for the memory tools, so a
+/// nest is flattened to a single *body* executed `iterations` times. The
+/// body holds the memory-access statements and the dependency edges
+/// between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopNest {
+    pub(crate) id: LoopNestId,
+    pub(crate) name: String,
+    pub(crate) iterations: u64,
+    pub(crate) accesses: Vec<Access>,
+    pub(crate) deps: Vec<DependencyEdge>,
+}
+
+impl LoopNest {
+    /// The identifier of this nest.
+    pub fn id(&self) -> LoopNestId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"predict_row"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of times the body executes per application execution.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// The access statements of the body, indexed by [`AccessId`].
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// The access with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this body.
+    pub fn access(&self, id: AccessId) -> &Access {
+        &self.accesses[id.index()]
+    }
+
+    /// The intra-body dependency edges.
+    pub fn dependencies(&self) -> &[DependencyEdge] {
+        &self.deps
+    }
+
+    /// Successors of `id` in the flow graph.
+    pub fn successors(&self, id: AccessId) -> impl Iterator<Item = AccessId> + '_ {
+        self.deps
+            .iter()
+            .filter(move |e| e.from == id)
+            .map(|e| e.to)
+    }
+
+    /// Predecessors of `id` in the flow graph.
+    pub fn predecessors(&self, id: AccessId) -> impl Iterator<Item = AccessId> + '_ {
+        self.deps
+            .iter()
+            .filter(move |e| e.to == id)
+            .map(|e| e.from)
+    }
+
+    /// Total (weighted) accesses this nest contributes to `group` per
+    /// application execution, split into (reads, writes).
+    pub fn access_counts(&self, group: BasicGroupId) -> (f64, f64) {
+        let it = self.iterations as f64;
+        let mut reads = 0.0;
+        let mut writes = 0.0;
+        for a in &self.accesses {
+            if a.group == group {
+                match a.kind {
+                    AccessKind::Read => reads += a.weight * it,
+                    AccessKind::Write => writes += a.weight * it,
+                }
+            }
+        }
+        (reads, writes)
+    }
+
+    /// Length (in accesses) of the longest dependency chain through the
+    /// body: the body's contribution to the memory-access critical path
+    /// when every access takes one cycle and unlimited bandwidth is
+    /// available.
+    ///
+    /// An empty body has length 0; a body with accesses but no
+    /// dependencies has length 1 (everything can issue in one cycle).
+    pub fn critical_path_len(&self) -> u64 {
+        if self.accesses.is_empty() {
+            return 0;
+        }
+        // Longest path in a DAG by memoized DFS over topological levels.
+        let n = self.accesses.len();
+        let mut depth = vec![1u64; n];
+        // Kahn ordering.
+        let mut indeg = vec![0usize; n];
+        for e in &self.deps {
+            indeg[e.to.index()] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(i) = stack.pop() {
+            seen += 1;
+            for e in self.deps.iter().filter(|e| e.from.index() == i) {
+                let j = e.to.index();
+                depth[j] = depth[j].max(depth[i] + 1);
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    stack.push(j);
+                }
+            }
+        }
+        debug_assert_eq!(seen, n, "flow graph must be acyclic (validated on build)");
+        depth.into_iter().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for LoopNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x{} ({} accesses, {} deps)",
+            self.name,
+            self.iterations,
+            self.accesses.len(),
+            self.deps.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_body(n: usize) -> LoopNest {
+        let accesses = (0..n)
+            .map(|i| Access {
+                id: AccessId(i as u32),
+                group: BasicGroupId(0),
+                kind: if i % 2 == 0 {
+                    AccessKind::Read
+                } else {
+                    AccessKind::Write
+                },
+                weight: 1.0,
+                burst: false,
+            })
+            .collect();
+        let deps = (1..n)
+            .map(|i| DependencyEdge {
+                from: AccessId(i as u32 - 1),
+                to: AccessId(i as u32),
+            })
+            .collect();
+        LoopNest {
+            id: LoopNestId(0),
+            name: "chain".into(),
+            iterations: 10,
+            accesses,
+            deps,
+        }
+    }
+
+    #[test]
+    fn critical_path_of_chain_is_its_length() {
+        assert_eq!(chain_body(5).critical_path_len(), 5);
+    }
+
+    #[test]
+    fn critical_path_of_independent_accesses_is_one() {
+        let mut body = chain_body(4);
+        body.deps.clear();
+        assert_eq!(body.critical_path_len(), 1);
+    }
+
+    #[test]
+    fn critical_path_of_empty_body_is_zero() {
+        let mut body = chain_body(0);
+        body.deps.clear();
+        assert_eq!(body.critical_path_len(), 0);
+    }
+
+    #[test]
+    fn access_counts_scale_with_iterations_and_weight() {
+        let mut body = chain_body(4);
+        body.accesses[2].weight = 0.5;
+        let (r, w) = body.access_counts(BasicGroupId(0));
+        // reads: a0 (1.0) + a2 (0.5) = 1.5 per iter; writes: a1 + a3 = 2.
+        assert_eq!(r, 15.0);
+        assert_eq!(w, 20.0);
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let body = chain_body(3);
+        let succ: Vec<_> = body.successors(AccessId(0)).collect();
+        assert_eq!(succ, vec![AccessId(1)]);
+        let pred: Vec<_> = body.predecessors(AccessId(2)).collect();
+        assert_eq!(pred, vec![AccessId(1)]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests on the specification IR.
+
+use memx_ir::{AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, LoopNestId};
+use proptest::prelude::*;
+
+/// A randomly generated, always-valid specification.
+fn arb_spec() -> impl Strategy<Value = AppSpec> {
+    // groups: 1..6 of (words, width); nests: 1..5 of (iterations,
+    // accesses as (group index, kind, weight), chain-shaped deps).
+    let group = (1u64..10_000, 1u32..24);
+    let access = (0usize..6, prop::bool::ANY, 0.01f64..=1.0);
+    let nest = (1u64..1_000, prop::collection::vec(access, 1..8));
+    (
+        prop::collection::vec(group, 1..6),
+        prop::collection::vec(nest, 1..5),
+    )
+        .prop_map(|(groups, nests)| {
+            let mut b = AppSpecBuilder::new("prop");
+            let ids: Vec<BasicGroupId> = groups
+                .iter()
+                .enumerate()
+                .map(|(i, &(words, width))| {
+                    b.basic_group(format!("g{i}"), words, width)
+                        .expect("group params are in range")
+                })
+                .collect();
+            for (n, (iters, accesses)) in nests.iter().enumerate() {
+                let nid = b.loop_nest(format!("n{n}"), *iters).expect("iters > 0");
+                let mut prev = None;
+                for &(gidx, write, weight) in accesses {
+                    let kind = if write {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    let g = ids[gidx % ids.len()];
+                    let a = b
+                        .access_weighted(nid, g, kind, weight)
+                        .expect("weight in range");
+                    if let Some(p) = prev {
+                        b.depend(nid, p, a).expect("chain edges are acyclic");
+                    }
+                    prev = Some(a);
+                }
+            }
+            // Chain deps: min cycles = sum of body lengths x iterations;
+            // set a budget that always suffices.
+            let budget: u64 = nests
+                .iter()
+                .map(|(iters, accesses)| iters * accesses.len() as u64)
+                .sum();
+            b.cycle_budget(budget.max(1));
+            b.build().expect("construction is valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn min_cycles_bounded_by_total_statements(spec in arb_spec()) {
+        let statements: u64 = spec
+            .loop_nests()
+            .iter()
+            .map(|n| n.iterations() * n.accesses().len() as u64)
+            .sum();
+        prop_assert!(spec.min_cycles() <= statements);
+    }
+
+    #[test]
+    fn to_builder_round_trips(spec in arb_spec()) {
+        let rebuilt = spec.to_builder().build().expect("round trip builds");
+        prop_assert_eq!(&spec, &rebuilt);
+    }
+
+    #[test]
+    fn total_accesses_match_per_nest_sums(spec in arb_spec()) {
+        for g in spec.basic_groups() {
+            let (r, w) = spec.total_accesses(g.id());
+            let sum: f64 = spec
+                .loop_nests()
+                .iter()
+                .map(|n| {
+                    let (nr, nw) = n.access_counts(g.id());
+                    nr + nw
+                })
+                .sum();
+            prop_assert!((r + w - sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn critical_path_at_most_body_length(spec in arb_spec()) {
+        for nest in spec.loop_nests() {
+            prop_assert!(nest.critical_path_len() <= nest.accesses().len() as u64);
+        }
+    }
+
+    #[test]
+    fn removing_a_groups_accesses_keeps_spec_valid(spec in arb_spec(), pick in 0usize..6) {
+        let g = BasicGroupId::from_index(pick % spec.basic_groups().len());
+        let mut builder = spec.to_builder();
+        builder.remove_group_accesses(g);
+        let trimmed = builder.build().expect("trimmed spec builds");
+        trimmed.validate().expect("trimmed spec is consistent");
+        let (r, w) = trimmed.total_accesses(g);
+        prop_assert_eq!((r, w), (0.0, 0.0));
+    }
+
+    #[test]
+    fn validate_accepts_all_built_specs(spec in arb_spec()) {
+        prop_assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered(spec in arb_spec()) {
+        for (i, g) in spec.basic_groups().iter().enumerate() {
+            prop_assert_eq!(g.id().index(), i);
+        }
+        for (i, n) in spec.loop_nests().iter().enumerate() {
+            prop_assert_eq!(n.id(), LoopNestId::from_index(i));
+        }
+    }
+}

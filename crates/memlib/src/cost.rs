@@ -1,0 +1,148 @@
+//! The three-figure cost breakdown every table of the paper reports.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Memory-organization cost: on-chip area, on-chip power, off-chip power.
+///
+/// These are exactly the three columns of Tables 1–4 in the paper. The
+/// struct is a small value type: breakdowns add component-wise so the
+/// cost of a full organization is the sum over its memories.
+///
+/// # Example
+///
+/// ```
+/// use memx_memlib::CostBreakdown;
+///
+/// let a = CostBreakdown::new(10.0, 5.0, 50.0);
+/// let b = CostBreakdown::new(2.5, 1.0, 0.0);
+/// let total = a + b;
+/// assert_eq!(total.on_chip_area_mm2, 12.5);
+/// assert_eq!(total.total_power_mw(), 56.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// On-chip memory area in mm² (cell arrays, decoders, buffers).
+    pub on_chip_area_mm2: f64,
+    /// On-chip memory power in mW.
+    pub on_chip_power_mw: f64,
+    /// Off-chip memory power in mW (active + static).
+    pub off_chip_power_mw: f64,
+}
+
+impl CostBreakdown {
+    /// Creates a breakdown from its three components.
+    pub fn new(on_chip_area_mm2: f64, on_chip_power_mw: f64, off_chip_power_mw: f64) -> Self {
+        CostBreakdown {
+            on_chip_area_mm2,
+            on_chip_power_mw,
+            off_chip_power_mw,
+        }
+    }
+
+    /// The zero cost.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Total (on-chip + off-chip) power in mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.on_chip_power_mw + self.off_chip_power_mw
+    }
+
+    /// Scalarizes the breakdown for optimization: a weighted sum of area
+    /// and total power. The default exploration uses
+    /// `area_weight = 1 mW/mm²` equivalence, mirroring the paper's joint
+    /// area/power steering.
+    pub fn scalar(&self, area_weight: f64, power_weight: f64) -> f64 {
+        self.on_chip_area_mm2 * area_weight + self.total_power_mw() * power_weight
+    }
+
+    /// `true` when every component of `self` is at most that of `other`
+    /// (Pareto dominance, non-strict).
+    pub fn dominates(&self, other: &CostBreakdown) -> bool {
+        self.on_chip_area_mm2 <= other.on_chip_area_mm2
+            && self.on_chip_power_mw <= other.on_chip_power_mw
+            && self.off_chip_power_mw <= other.off_chip_power_mw
+    }
+}
+
+impl Add for CostBreakdown {
+    type Output = CostBreakdown;
+
+    fn add(self, rhs: CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            on_chip_area_mm2: self.on_chip_area_mm2 + rhs.on_chip_area_mm2,
+            on_chip_power_mw: self.on_chip_power_mw + rhs.on_chip_power_mw,
+            off_chip_power_mw: self.off_chip_power_mw + rhs.off_chip_power_mw,
+        }
+    }
+}
+
+impl Sum for CostBreakdown {
+    fn sum<I: Iterator<Item = CostBreakdown>>(iter: I) -> CostBreakdown {
+        iter.fold(CostBreakdown::zero(), Add::add)
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "area {:.1} mm2, on-chip {:.1} mW, off-chip {:.1} mW",
+            self.on_chip_area_mm2, self.on_chip_power_mw, self.off_chip_power_mw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_component_wise() {
+        let a = CostBreakdown::new(1.0, 2.0, 3.0);
+        let b = CostBreakdown::new(10.0, 20.0, 30.0);
+        let s = a + b;
+        assert_eq!(s, CostBreakdown::new(11.0, 22.0, 33.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![
+            CostBreakdown::new(1.0, 1.0, 0.0),
+            CostBreakdown::new(2.0, 0.5, 4.0),
+        ];
+        let total: CostBreakdown = parts.into_iter().sum();
+        assert_eq!(total, CostBreakdown::new(3.0, 1.5, 4.0));
+    }
+
+    #[test]
+    fn dominance() {
+        let small = CostBreakdown::new(1.0, 1.0, 1.0);
+        let big = CostBreakdown::new(2.0, 2.0, 2.0);
+        let mixed = CostBreakdown::new(0.5, 3.0, 1.0);
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+        assert!(!small.dominates(&mixed));
+        assert!(!mixed.dominates(&small));
+        assert!(small.dominates(&small));
+    }
+
+    #[test]
+    fn scalar_weights_components() {
+        let c = CostBreakdown::new(10.0, 5.0, 15.0);
+        assert_eq!(c.scalar(2.0, 1.0), 40.0);
+        assert_eq!(c.scalar(0.0, 1.0), 20.0);
+    }
+
+    #[test]
+    fn display_rounds_to_tenths() {
+        let c = CostBreakdown::new(65.44, 39.36, 130.25);
+        assert_eq!(
+            format!("{c}"),
+            "area 65.4 mm2, on-chip 39.4 mW, off-chip 130.2 mW"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests on the technology models: the monotonicities
+//! the methodology relies on must hold for all parameters.
+
+use memx_memlib::{CostBreakdown, MemLibrary, OnChipSpec};
+use proptest::prelude::*;
+
+fn lib() -> MemLibrary {
+    MemLibrary::default_07um()
+}
+
+proptest! {
+    #[test]
+    fn on_chip_area_monotone_in_every_parameter(
+        words in 1u64..100_000,
+        width in 1u32..32,
+        ports in 1u32..4,
+    ) {
+        let m = lib();
+        let base = m.on_chip().area_mm2(&OnChipSpec::new(words, width, ports));
+        prop_assert!(base > 0.0);
+        prop_assert!(m.on_chip().area_mm2(&OnChipSpec::new(words + 1, width, ports)) >= base);
+        prop_assert!(m.on_chip().area_mm2(&OnChipSpec::new(words, width + 1, ports)) > base);
+        prop_assert!(m.on_chip().area_mm2(&OnChipSpec::new(words, width, ports + 1)) > base);
+    }
+
+    #[test]
+    fn on_chip_energy_monotone_and_sublinear(
+        words in 16u64..100_000,
+        width in 1u32..32,
+    ) {
+        let m = lib();
+        let e1 = m.on_chip().energy_pj(&OnChipSpec::new(words, width, 1));
+        let e4 = m.on_chip().energy_pj(&OnChipSpec::new(words * 4, width, 1));
+        prop_assert!(e4 > e1);
+        // Sub-linear: quadrupling the size less than doubles the energy.
+        prop_assert!(e4 < 2.0 * e1 + 1e-9);
+    }
+
+    #[test]
+    fn off_chip_selection_always_covers_the_request(
+        words in 1u64..(8u64 << 20),
+        width in 1u32..33,
+        ports in 1u32..3,
+        rate in 1.0e3f64..1.0e8,
+    ) {
+        let sel = lib()
+            .off_chip()
+            .select(words, width, ports, rate)
+            .expect("catalog covers all requests");
+        let total_words = sel.part().words() * u64::from(sel.ranks());
+        let total_width = sel.part().width() * sel.devices_wide();
+        prop_assert!(total_words >= words);
+        prop_assert!(total_width >= width);
+        prop_assert!(sel.power_mw(rate) > 0.0);
+    }
+
+    #[test]
+    fn off_chip_power_monotone_in_rate(
+        words in 1u64..(1u64 << 20),
+        width in 1u32..17,
+        rate in 1.0e3f64..1.0e7,
+    ) {
+        let c = lib();
+        let sel = c.off_chip().select(words, width, 1, rate).expect("selectable");
+        prop_assert!(sel.power_mw(rate * 2.0) > sel.power_mw(rate));
+    }
+
+    #[test]
+    fn cost_addition_is_commutative_and_associative(
+        a in prop::array::uniform3(0.0f64..1e3),
+        b in prop::array::uniform3(0.0f64..1e3),
+        c in prop::array::uniform3(0.0f64..1e3),
+    ) {
+        let x = CostBreakdown::new(a[0], a[1], a[2]);
+        let y = CostBreakdown::new(b[0], b[1], b[2]);
+        let z = CostBreakdown::new(c[0], c[1], c[2]);
+        prop_assert_eq!(x + y, y + x);
+        let left = (x + y) + z;
+        let right = x + (y + z);
+        prop_assert!((left.on_chip_area_mm2 - right.on_chip_area_mm2).abs() < 1e-9);
+        prop_assert!((left.total_power_mw() - right.total_power_mw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominance_implies_lower_scalar(
+        a in prop::array::uniform3(0.0f64..1e3),
+        b in prop::array::uniform3(0.0f64..1e3),
+        area_w in 0.0f64..10.0,
+        power_w in 0.0f64..10.0,
+    ) {
+        let x = CostBreakdown::new(a[0], a[1], a[2]);
+        let y = CostBreakdown::new(b[0], b[1], b[2]);
+        if x.dominates(&y) {
+            prop_assert!(x.scalar(area_w, power_w) <= y.scalar(area_w, power_w) + 1e-9);
+        }
+    }
+}

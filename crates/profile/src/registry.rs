@@ -1,0 +1,97 @@
+//! Registry collecting counters for all tracked arrays of a run.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::{AccessCounter, ArrayCounts, Profile, TrackedArray};
+
+/// Central registry of per-array access counters.
+///
+/// One registry corresponds to one instrumented application run; the
+/// demonstrator creates a registry, allocates its arrays through it,
+/// executes, and snapshots the [`Profile`].
+#[derive(Debug, Default)]
+pub struct ProfileRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AccessCounter>>>,
+}
+
+impl ProfileRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating on first use) the counter registered under
+    /// `name`. Arrays that share a name share a counter, which is how
+    /// multiple instances of a working buffer aggregate into one basic
+    /// group.
+    pub fn counter(&self, name: &str) -> Arc<AccessCounter> {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(AccessCounter::new())),
+        )
+    }
+
+    /// Convenience: allocates a zeroed [`TrackedArray`] registered under
+    /// `name`.
+    pub fn array<T: Copy + Default>(&self, name: &str, len: usize) -> TrackedArray<T> {
+        TrackedArray::new(name, len, self.counter(name))
+    }
+
+    /// Snapshots the current counts of every registered array.
+    pub fn snapshot(&self) -> Profile {
+        let map = self.counters.lock().expect("registry poisoned");
+        Profile::from_counts(map.iter().map(|(name, c)| {
+            let (reads, writes) = c.counts();
+            ArrayCounts {
+                name: name.clone(),
+                reads: reads as f64,
+                writes: writes as f64,
+            }
+        }))
+    }
+
+    /// Resets every counter to zero (e.g. to exclude a warm-up encode).
+    pub fn reset(&self) {
+        let map = self.counters.lock().expect("registry poisoned");
+        for c in map.values() {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_counter() {
+        let r = ProfileRegistry::new();
+        let a: TrackedArray<u8> = r.array("buf", 4);
+        let b: TrackedArray<u8> = r.array("buf", 4);
+        a.read(0);
+        b.read(1);
+        assert_eq!(r.snapshot().counts("buf"), Some((2.0, 0.0)));
+    }
+
+    #[test]
+    fn snapshot_lists_all_arrays() {
+        let r = ProfileRegistry::new();
+        let _a: TrackedArray<u8> = r.array("a", 1);
+        let _b: TrackedArray<u8> = r.array("b", 1);
+        let p = r.snapshot();
+        assert_eq!(p.arrays().len(), 2);
+        assert_eq!(p.counts("a"), Some((0.0, 0.0)));
+        assert_eq!(p.counts("missing"), None);
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let r = ProfileRegistry::new();
+        let a: TrackedArray<u8> = r.array("a", 1);
+        a.read(0);
+        r.reset();
+        assert_eq!(r.snapshot().counts("a"), Some((0.0, 0.0)));
+    }
+}

@@ -1,0 +1,154 @@
+//! Immutable profile snapshots and scaling.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-array (weighted) read/write totals of one profiled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayCounts {
+    /// Registered array name.
+    pub name: String,
+    /// Total reads (fractional after scaling).
+    pub reads: f64,
+    /// Total writes (fractional after scaling).
+    pub writes: f64,
+}
+
+impl ArrayCounts {
+    /// Reads + writes.
+    pub fn total(&self) -> f64 {
+        self.reads + self.writes
+    }
+}
+
+/// A snapshot of access counts for every tracked array of a run.
+///
+/// Profiles are taken on reduced inputs (profiling a full 1024×1024
+/// encode is unnecessary) and then scaled with [`Profile::scaled`] to the
+/// production input size before building the application spec.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Profile {
+    arrays: BTreeMap<String, ArrayCounts>,
+}
+
+impl Profile {
+    /// Builds a profile from per-array counts.
+    pub fn from_counts(counts: impl IntoIterator<Item = ArrayCounts>) -> Self {
+        Profile {
+            arrays: counts.into_iter().map(|c| (c.name.clone(), c)).collect(),
+        }
+    }
+
+    /// All per-array entries, ordered by name.
+    pub fn arrays(&self) -> Vec<&ArrayCounts> {
+        self.arrays.values().collect()
+    }
+
+    /// (reads, writes) of the array registered under `name`.
+    pub fn counts(&self, name: &str) -> Option<(f64, f64)> {
+        self.arrays.get(name).map(|c| (c.reads, c.writes))
+    }
+
+    /// Total accesses across all arrays.
+    pub fn total_accesses(&self) -> f64 {
+        self.arrays.values().map(ArrayCounts::total).sum()
+    }
+
+    /// Returns a copy with every count multiplied by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scaled(&self, factor: f64) -> Profile {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
+        Profile {
+            arrays: self
+                .arrays
+                .iter()
+                .map(|(k, c)| {
+                    (
+                        k.clone(),
+                        ArrayCounts {
+                            name: c.name.clone(),
+                            reads: c.reads * factor,
+                            writes: c.writes * factor,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Scales a profile measured on `from_pixels` input samples to
+    /// `to_pixels` samples — access counts of image kernels grow linearly
+    /// in the pixel count.
+    pub fn scaled_to(&self, from_pixels: u64, to_pixels: u64) -> Profile {
+        self.scaled(to_pixels as f64 / from_pixels as f64)
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<16} {:>14} {:>14}", "array", "reads", "writes")?;
+        for c in self.arrays.values() {
+            writeln!(f, "{:<16} {:>14.0} {:>14.0}", c.name, c.reads, c.writes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Profile {
+        Profile::from_counts([
+            ArrayCounts {
+                name: "a".into(),
+                reads: 100.0,
+                writes: 50.0,
+            },
+            ArrayCounts {
+                name: "b".into(),
+                reads: 10.0,
+                writes: 0.0,
+            },
+        ])
+    }
+
+    #[test]
+    fn totals() {
+        let p = profile();
+        assert_eq!(p.total_accesses(), 160.0);
+        assert_eq!(p.counts("a"), Some((100.0, 50.0)));
+    }
+
+    #[test]
+    fn scaling_multiplies_counts() {
+        let p = profile().scaled(2.0);
+        assert_eq!(p.counts("a"), Some((200.0, 100.0)));
+    }
+
+    #[test]
+    fn scaled_to_pixels() {
+        let p = profile().scaled_to(64 * 64, 1024 * 1024);
+        assert_eq!(p.counts("b"), Some((2560.0, 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_scale_panics() {
+        profile().scaled(0.0);
+    }
+
+    #[test]
+    fn display_lists_rows() {
+        let s = profile().to_string();
+        assert!(s.contains("array"));
+        assert!(s.contains('a'));
+        assert!(s.contains('b'));
+    }
+}

@@ -1,0 +1,144 @@
+//! Instrumented array wrapper.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::AccessCounter;
+
+/// An array whose element accesses are counted.
+///
+/// This is the instrumentation the paper inserts automatically into the C
+/// specification: every `read`/`write` bumps the shared
+/// [`AccessCounter`] registered under the array's name.
+///
+/// Only explicit `read`/`write` calls are counted; bulk initialization via
+/// [`TrackedArray::fill_untracked`] is free, matching the paper's
+/// convention that one-time initialisation DMA is not part of the profiled
+/// kernel.
+pub struct TrackedArray<T> {
+    name: String,
+    data: Vec<T>,
+    counter: Arc<AccessCounter>,
+}
+
+impl<T: Copy + Default> TrackedArray<T> {
+    /// Creates a zero-initialized tracked array.
+    pub fn new(name: impl Into<String>, len: usize, counter: Arc<AccessCounter>) -> Self {
+        TrackedArray {
+            name: name.into(),
+            data: vec![T::default(); len],
+            counter,
+        }
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads element `i`, counting one read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn read(&self, i: usize) -> T {
+        self.counter.count_read();
+        self.data[i]
+    }
+
+    /// Writes element `i`, counting one write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn write(&mut self, i: usize, value: T) {
+        self.counter.count_write();
+        self.data[i] = value;
+    }
+
+    /// Reads element `i` without counting (for assertions/debug dumps).
+    #[inline]
+    pub fn peek(&self, i: usize) -> T {
+        self.data[i]
+    }
+
+    /// Overwrites the whole contents without counting (input DMA).
+    pub fn fill_untracked(&mut self, values: &[T]) {
+        self.data.copy_from_slice(values);
+    }
+
+    /// Borrows the raw contents without counting.
+    pub fn as_slice_untracked(&self) -> &[T] {
+        &self.data
+    }
+
+    /// The counter shared with the registry.
+    pub fn counter(&self) -> &Arc<AccessCounter> {
+        &self.counter
+    }
+}
+
+impl<T> fmt::Debug for TrackedArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (r, w) = self.counter.counts();
+        f.debug_struct("TrackedArray")
+            .field("name", &self.name)
+            .field("len", &self.data.len())
+            .field("reads", &r)
+            .field("writes", &w)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr() -> TrackedArray<u8> {
+        TrackedArray::new("a", 4, Arc::new(AccessCounter::new()))
+    }
+
+    #[test]
+    fn read_write_count() {
+        let mut a = arr();
+        a.write(0, 7);
+        a.write(1, 9);
+        assert_eq!(a.read(0), 7);
+        assert_eq!(a.counter().counts(), (1, 2));
+    }
+
+    #[test]
+    fn peek_and_fill_do_not_count() {
+        let mut a = arr();
+        a.fill_untracked(&[1, 2, 3, 4]);
+        assert_eq!(a.peek(2), 3);
+        assert_eq!(a.as_slice_untracked(), &[1, 2, 3, 4]);
+        assert_eq!(a.counter().counts(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        arr().read(99);
+    }
+
+    #[test]
+    fn debug_shows_counts() {
+        let a = arr();
+        a.read(0);
+        let s = format!("{a:?}");
+        assert!(s.contains("reads: 1"));
+    }
+}

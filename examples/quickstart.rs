@@ -1,0 +1,63 @@
+//! Quickstart: describe a small kernel, get accurate memory-organization
+//! feedback.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use memexplore::core::explore::{evaluate, EvaluateOptions};
+use memexplore::core::macp;
+use memexplore::ir::{AccessKind, AppSpecBuilder, Placement};
+use memexplore::memlib::MemLibrary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 32-tap FIR filter over a 16 K-sample buffer, 100 runs/second.
+    // The sample buffers are far too large for 0.7 um on-chip SRAM, so
+    // the specification pins them off-chip; the tap coefficients stay on
+    // chip.
+    let mut b = AppSpecBuilder::new("fir32");
+    let samples = b.basic_group_placed("samples", 16 * 1024, 12, Placement::OffChip)?;
+    let taps = b.basic_group("taps", 32, 10)?;
+    let output = b.basic_group_placed("output", 16 * 1024, 14, Placement::OffChip)?;
+
+    // The pruned inner loop: one sample and one tap read feed one MAC;
+    // the output is written once per outer iteration. Profiling showed
+    // the write happens every 32nd iteration, so it carries weight 1/32.
+    let mac = b.loop_nest("mac", 16 * 1024 * 32)?;
+    let rs = b.access(mac, samples, AccessKind::Read)?;
+    let rt = b.access(mac, taps, AccessKind::Read)?;
+    let wo = b.access_weighted(mac, output, AccessKind::Write, 1.0 / 32.0)?;
+    b.depend(mac, rs, wo)?;
+    b.depend(mac, rt, wo)?;
+
+    // Real-time constraint: 10 ms per run => storage cycle budget.
+    b.cycle_budget(6_000_000).real_time_seconds(10e-3);
+    let spec = b.build()?;
+
+    // Step 1 feedback: the memory-access critical path.
+    let report = macp::analyze(&spec);
+    println!(
+        "MACP: {} cycles of {} budget (slack {})",
+        report.total_cycles,
+        report.budget,
+        report.slack()
+    );
+
+    // Steps 2+3 feedback: balanced schedule, allocation, assignment.
+    let lib = MemLibrary::default_07um();
+    let feedback = evaluate(&spec, &lib, &EvaluateOptions::default())?;
+    println!("Memory organization: {}", feedback.cost);
+    for mem in &feedback.organization.memories {
+        let names: Vec<&str> = mem
+            .groups
+            .iter()
+            .map(|&g| spec.group(g).name())
+            .collect();
+        println!(
+            "  {:>8} words x {:>2} bit, {} port(s): {}",
+            mem.words,
+            mem.width,
+            mem.ports,
+            names.join(", ")
+        );
+    }
+    Ok(())
+}

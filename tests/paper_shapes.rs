@@ -1,0 +1,152 @@
+//! The headline reproduction tests: every qualitative claim of the
+//! paper's four tables must hold in our pipeline.
+//!
+//! Absolute numbers differ from the paper (our substrate is a calibrated
+//! simulator, not IMEC's proprietary 0.7 µm generator and testbed), but
+//! the *orderings, winners and crossovers* asserted here are the paper's
+//! results.
+
+use memx_bench::experiments;
+
+/// Shared context (profiling the codec once is enough).
+fn ctx() -> experiments::PaperContext {
+    experiments::paper_context()
+}
+
+#[test]
+fn table1_merging_beats_compaction_beats_nothing() {
+    let ctx = ctx();
+    let exp = experiments::table1(&ctx).expect("table 1 runs");
+    let rows = exp.reports();
+    assert_eq!(rows.len(), 3);
+    let none = &rows[0];
+    let compacted = &rows[1];
+    let merged = &rows[2];
+    // Off-chip power: merging wins, compaction in between (paper:
+    // 208.0 -> 204.6 -> 130.2).
+    assert!(compacted.cost.off_chip_power_mw < none.cost.off_chip_power_mw);
+    assert!(merged.cost.off_chip_power_mw < compacted.cost.off_chip_power_mw);
+    // Merging must be a substantial (tens of percent) improvement.
+    assert!(merged.cost.off_chip_power_mw < 0.85 * none.cost.off_chip_power_mw);
+    // No variant makes the on-chip side worse.
+    assert!(merged.cost.on_chip_area_mm2 <= none.cost.on_chip_area_mm2 * 1.01);
+}
+
+#[test]
+fn table2_layer0_only_wins_and_no_hierarchy_needs_two_port_off_chip() {
+    let ctx = ctx();
+    let exp = experiments::table2(&ctx).expect("table 2 runs");
+    let rows = exp.reports();
+    assert_eq!(rows.len(), 4);
+    let (none, l1, l0, both) = (&rows[0], &rows[1], &rows[2], &rows[3]);
+
+    // The paper's Table 2 orderings.
+    // Off-chip power: hierarchy helps a lot; layer-1 fills (long bursts,
+    // fewer copies) beat layer-0 fills.
+    assert!(l0.cost.off_chip_power_mw < none.cost.off_chip_power_mw);
+    assert!(l1.cost.off_chip_power_mw < l0.cost.off_chip_power_mw);
+    // Adding layer 0 under layer 1 does not change the off-chip side.
+    assert!((both.cost.off_chip_power_mw - l1.cost.off_chip_power_mw).abs() < 1e-6);
+    // On-chip area: none < layer0 << both < layer1.
+    assert!(none.cost.on_chip_area_mm2 < l0.cost.on_chip_area_mm2);
+    assert!(l0.cost.on_chip_area_mm2 < both.cost.on_chip_area_mm2);
+    assert!(both.cost.on_chip_area_mm2 < l1.cost.on_chip_area_mm2);
+    // On-chip power: same ordering.
+    assert!(none.cost.on_chip_power_mw < l0.cost.on_chip_power_mw);
+    assert!(l0.cost.on_chip_power_mw < both.cost.on_chip_power_mw);
+    assert!(both.cost.on_chip_power_mw < l1.cost.on_chip_power_mw);
+
+    // "The solution without any hierarchy is very expensive because a
+    // two-port off-chip memory is needed"; with a hierarchy one port
+    // suffices.
+    assert_eq!(none.organization.max_off_chip_ports(), 2);
+    assert_eq!(l0.organization.max_off_chip_ports(), 1);
+    assert_eq!(l1.organization.max_off_chip_ports(), 1);
+
+    // Layer 0 only is the best of the hierarchy options on total
+    // power + area (the paper's chosen solution).
+    assert!(
+        l0.cost.scalar(1.0, 1.0) < l1.cost.scalar(1.0, 1.0)
+            && l0.cost.scalar(1.0, 1.0) < both.cost.scalar(1.0, 1.0)
+    );
+}
+
+#[test]
+fn table3_budget_can_tighten_substantially_for_free() {
+    let ctx = ctx();
+    let rows = experiments::table3(&ctx, &experiments::paper_extras()).expect("table 3 runs");
+    assert_eq!(rows.len(), 4);
+    // The paper's headline: about 2 M cycles (and in our denser
+    // schedule even more) move to the data path without influencing the
+    // memory organization cost much.
+    let base = &rows[0].report.cost;
+    for row in &rows {
+        assert!(row.report.cost.scalar(1.0, 1.0) <= base.scalar(1.0, 1.0) * 1.10);
+    }
+    // Budgets are actually distributed within the tightened totals.
+    for row in &rows {
+        assert!(
+            row.report.schedule.used_cycles
+                <= experiments::CYCLE_BUDGET - row.extra_cycles
+        );
+    }
+}
+
+#[test]
+fn table4_power_monotone_and_area_u_shaped() {
+    let ctx = ctx();
+    let rows =
+        experiments::table4(&ctx, &experiments::paper_allocations()).expect("table 4 runs");
+    assert_eq!(rows.len(), 5);
+    // On-chip power decreases monotonically with more memories (paper:
+    // 47.7 -> 38.6 -> 29.3 -> 26.9 -> 25.1).
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].report.cost.on_chip_power_mw < pair[0].report.cost.on_chip_power_mw,
+            "power not monotone between k={} and k={}",
+            pair[0].memories,
+            pair[1].memories
+        );
+    }
+    // Area falls first (bitwidth waste / banking) and rises again at the
+    // end (per-module overhead) — the paper's 84.0 -> 65.7 -> 69.5 dip.
+    let first = rows.first().expect("five rows").report.cost.on_chip_area_mm2;
+    let last = rows.last().expect("five rows").report.cost.on_chip_area_mm2;
+    let min = rows
+        .iter()
+        .map(|r| r.report.cost.on_chip_area_mm2)
+        .fold(f64::INFINITY, f64::min);
+    assert!(min < first, "no initial area decrease");
+    assert!(min < last, "no final area increase");
+    // Off-chip side is untouched by the on-chip allocation.
+    let off: Vec<f64> = rows.iter().map(|r| r.report.cost.off_chip_power_mw).collect();
+    for w in off.windows(2) {
+        assert!((w[0] - w[1]).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn magnitudes_land_in_the_papers_range() {
+    // Sanity guard on calibration drift: the BTPC figures must stay in
+    // the paper's order of magnitude (Tables 1-4 span 64-131 mm2,
+    // 25-93 mW on-chip, 87-208 mW off-chip).
+    let ctx = ctx();
+    let exp = experiments::table1(&ctx).expect("table 1 runs");
+    for r in exp.reports() {
+        assert!(
+            (40.0..200.0).contains(&r.cost.on_chip_area_mm2),
+            "area {} out of range",
+            r.cost.on_chip_area_mm2
+        );
+        assert!(
+            (15.0..150.0).contains(&r.cost.on_chip_power_mw),
+            "on-chip power {} out of range",
+            r.cost.on_chip_power_mw
+        );
+        assert!(
+            (50.0..300.0).contains(&r.cost.off_chip_power_mw),
+            "off-chip power {} out of range",
+            r.cost.off_chip_power_mw
+        );
+    }
+}

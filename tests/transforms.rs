@@ -1,0 +1,113 @@
+//! Cross-crate transform invariants: structuring and hierarchy preserve
+//! the information the later stages rely on.
+
+use memexplore::btpc::spec::{btpc_app_spec, measure_profile};
+use memexplore::core::hierarchy::{apply_hierarchy, HierarchyLayer};
+use memexplore::core::structuring::{compact, merge};
+use memexplore::core::{pruning, scbd};
+
+fn btpc() -> memexplore::btpc::spec::BtpcSpec {
+    let profile = measure_profile(48, 48, 11);
+    btpc_app_spec(&profile, 1024, 1024, 20_000_000).expect("spec builds")
+}
+
+#[test]
+fn merge_conserves_stored_bits() {
+    let btpc = btpc();
+    let before: u64 = btpc
+        .spec
+        .basic_groups()
+        .iter()
+        .map(memexplore::ir::BasicGroup::bits)
+        .sum();
+    let merged = merge(&btpc.spec, btpc.pyr, btpc.ridge).expect("merge valid");
+    let after: u64 = merged
+        .spec
+        .basic_groups()
+        .iter()
+        .map(memexplore::ir::BasicGroup::bits)
+        .sum();
+    // The record array stores both fields for max(words) entries, so it
+    // may only grow (padding), never lose bits.
+    assert!(after >= before - 10, "bits lost: {before} -> {after}");
+}
+
+#[test]
+fn merge_reduces_accesses_but_never_below_the_wider_input() {
+    let btpc = btpc();
+    let (pyr_r, pyr_w) = btpc.spec.total_accesses(btpc.pyr);
+    let merged = merge(&btpc.spec, btpc.pyr, btpc.ridge).expect("merge valid");
+    let (m_r, m_w) = merged.spec.total_accesses(merged.new_group);
+    // Every pyr access still happens (possibly also carrying ridge).
+    assert!(m_r >= pyr_r * 0.999);
+    assert!(m_w >= pyr_w * 0.999);
+    // And the merged total is below the two separate totals.
+    let (ridge_r, ridge_w) = btpc.spec.total_accesses(btpc.ridge);
+    assert!(m_r + m_w < pyr_r + pyr_w + ridge_r + ridge_w);
+}
+
+#[test]
+fn compaction_shrinks_words_and_widens() {
+    let btpc = btpc();
+    let before = btpc.spec.group(btpc.ridge).clone();
+    for factor in [2u32, 3, 4] {
+        let compacted = compact(&btpc.spec, btpc.ridge, factor).expect("compaction valid");
+        let after = compacted.spec.group(compacted.new_group);
+        assert_eq!(after.bitwidth(), before.bitwidth() * factor);
+        assert_eq!(after.words(), before.words().div_ceil(u64::from(factor)));
+        // No data capacity lost.
+        assert!(after.bits() >= before.bits());
+    }
+}
+
+#[test]
+fn hierarchy_preserves_read_service() {
+    // Every read the data path performed is still performed, just on a
+    // different layer.
+    let btpc = btpc();
+    let merged = merge(&btpc.spec, btpc.pyr, btpc.ridge).expect("merge valid");
+    let (reads_before, writes_before) = merged.spec.total_accesses(merged.new_group);
+    let layered = apply_hierarchy(
+        &merged.spec,
+        merged.new_group,
+        &[HierarchyLayer::new("ylocal", 12, 2, 2.0)],
+    )
+    .expect("hierarchy valid");
+    let (layer_reads, _) = layered.spec.total_accesses(layered.layers[0]);
+    assert!((layer_reads - reads_before).abs() / reads_before < 1e-9);
+    // Writes still reach the backing store.
+    let (_, writes_after) = layered.spec.total_accesses(merged.new_group);
+    assert!((writes_after - writes_before).abs() / writes_before < 1e-9);
+}
+
+#[test]
+fn transforms_commute_with_scheduling_feasibility() {
+    // Any (valid) transform output must still schedule within the same
+    // budget: transforms never add cycles beyond the budget for BTPC.
+    let btpc = btpc();
+    let variants = [
+        btpc.spec.clone(),
+        compact(&btpc.spec, btpc.ridge, 3).expect("compaction valid").spec,
+        merge(&btpc.spec, btpc.pyr, btpc.ridge).expect("merge valid").spec,
+    ];
+    for (i, spec) in variants.iter().enumerate() {
+        scbd::distribute(spec).unwrap_or_else(|e| panic!("variant {i} unschedulable: {e}"));
+    }
+}
+
+#[test]
+fn pruning_then_transforming_is_consistent() {
+    let btpc = btpc();
+    let pruned = pruning::prune(&btpc.spec, 1e-6).expect("pruning runs");
+    assert!(pruned.retained_fraction > 0.99);
+    let merged = merge(&pruned.spec, btpc.pyr, btpc.ridge).expect("merge valid");
+    merged.spec.validate().expect("spec consistent");
+    scbd::distribute(&merged.spec).expect("still schedulable");
+}
+
+#[test]
+fn repeated_compaction_rejected_past_word_limit() {
+    let btpc = btpc();
+    // 2 bits * 40 > 64 bits must be rejected.
+    assert!(compact(&btpc.spec, btpc.ridge, 40).is_err());
+}
