@@ -48,8 +48,7 @@ fn bench_alloc(c: &mut Criterion) {
                 ..AllocOptions::default()
             };
             b.iter(|| {
-                assign(std::hint::black_box(&spec), &schedule, &lib, &options)
-                    .expect("assignable")
+                assign(std::hint::black_box(&spec), &schedule, &lib, &options).expect("assignable")
             })
         });
     }

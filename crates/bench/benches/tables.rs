@@ -17,15 +17,11 @@ fn bench_tables(c: &mut Criterion) {
     });
     group.bench_function("table3_cycle_budget", |b| {
         let extras = experiments::paper_extras();
-        b.iter(|| {
-            experiments::table3(std::hint::black_box(&ctx), &extras).expect("table 3 runs")
-        })
+        b.iter(|| experiments::table3(std::hint::black_box(&ctx), &extras).expect("table 3 runs"))
     });
     group.bench_function("table4_allocation", |b| {
         let counts = experiments::paper_allocations();
-        b.iter(|| {
-            experiments::table4(std::hint::black_box(&ctx), &counts).expect("table 4 runs")
-        })
+        b.iter(|| experiments::table4(std::hint::black_box(&ctx), &counts).expect("table 4 runs"))
     });
     group.finish();
 }

@@ -9,12 +9,12 @@
 //! altogether.
 
 use memx_bench::experiments;
-use memx_core::alloc::{assign, AllocOptions};
+use memx_core::alloc::assign;
 use memx_core::scbd;
 use memx_core::scbd::BodySchedule;
 
 fn main() {
-    let ctx = experiments::paper_context();
+    let ctx = experiments::context();
     let spec = experiments::best_hierarchy_spec(&ctx).expect("transforms valid");
     let budget = experiments::CYCLE_BUDGET;
 
@@ -22,7 +22,10 @@ fn main() {
     println!("(BTPC, merged + ylocal hierarchy, {budget} cycle budget)\n");
 
     for (label, result) in [
-        ("balanced (paper)", scbd::distribute_with_budget(&spec, budget)),
+        (
+            "balanced (paper)",
+            scbd::distribute_with_budget(&spec, budget),
+        ),
         ("ASAP packed", scbd::distribute_asap(&spec, budget)),
     ] {
         match result {
@@ -37,7 +40,7 @@ fn main() {
                 print!(
                     "{label:<18} pressure {pressure:>7.1}  max self-overlap {max_ports_any_group}  "
                 );
-                match assign(&spec, &schedule, &ctx.lib, &AllocOptions::default()) {
+                match assign(&spec, &schedule, &ctx.lib, &ctx.alloc) {
                     Ok(org) => println!(
                         "-> {} (off-chip ports {})",
                         org.cost,

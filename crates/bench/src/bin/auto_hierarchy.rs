@@ -7,11 +7,11 @@
 //! compares the outcome with the manual winner.
 
 use memx_bench::experiments;
-use memx_core::explore::{evaluate, EvaluateOptions};
+use memx_core::explore::evaluate;
 use memx_core::reuse;
 
 fn main() {
-    let ctx = experiments::paper_context();
+    let ctx = experiments::context();
     let (merged, pixel_store) = experiments::merged_spec(&ctx).expect("merge valid");
 
     println!("Data-reuse analysis of the merged BTPC spec:");
@@ -37,10 +37,13 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" -> ")
         };
-        println!("  {desc}  (absorbs {:.1} M reads)", cand.reads_absorbed / 1e6);
+        println!(
+            "  {desc}  (absorbs {:.1} M reads)",
+            cand.reads_absorbed / 1e6
+        );
     }
 
-    let options = EvaluateOptions::default();
+    let options = ctx.options();
     let baseline = evaluate(&merged, &ctx.lib, &options).expect("baseline evaluates");
     let (auto_spec, auto_report) =
         reuse::auto_hierarchy(&merged, &ctx.lib, &options).expect("auto decision runs");
@@ -56,9 +59,12 @@ fn main() {
         .skip(merged.basic_groups().len())
         .map(|g| g.name())
         .collect();
-    println!("automatic layers added: {}", if added.is_empty() {
-        "none".to_owned()
-    } else {
-        added.join(", ")
-    });
+    println!(
+        "automatic layers added: {}",
+        if added.is_empty() {
+            "none".to_owned()
+        } else {
+            added.join(", ")
+        }
+    );
 }

@@ -8,10 +8,14 @@ use memx_btpc::{CodecConfig, Decoder, Encoder, Image};
 use memx_profile::ProfileRegistry;
 
 fn main() {
-    let img = Image::synthetic_natural(256, 256, experiments::SEED);
+    let edge = if experiments::smoke_mode() { 64 } else { 256 };
+    let img = Image::synthetic_natural(edge, edge, experiments::SEED);
 
-    println!("BTPC rate-distortion sweep (256x256 synthetic natural image)");
-    println!("{:<12} {:>12} {:>12} {:>10}", "quant step", "bits/pixel", "ratio", "PSNR [dB]");
+    println!("BTPC rate-distortion sweep ({edge}x{edge} synthetic natural image)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "quant step", "bits/pixel", "ratio", "PSNR [dB]"
+    );
     for q in [1u16, 2, 4, 8, 16, 32] {
         let cfg = if q == 1 {
             CodecConfig::lossless()
@@ -20,7 +24,7 @@ fn main() {
         };
         let encoded = Encoder::new(cfg).encode(&img).expect("encode succeeds");
         let decoded = Decoder::new(cfg).decode(&encoded).expect("decode succeeds");
-        let bpp = encoded.bit_len() as f64 / (256.0 * 256.0);
+        let bpp = encoded.bit_len() as f64 / (edge * edge) as f64;
         let psnr = decoded.psnr(&img);
         println!(
             "{:<12} {:>12.2} {:>12.2} {:>10}",
@@ -42,12 +46,21 @@ fn main() {
         .expect("encode succeeds");
     let profile = registry.snapshot();
     let total: f64 = (0..6)
-        .map(|c| profile.counts(&format!("huff_freq_{c}")).expect("tracked").1)
+        .map(|c| {
+            profile
+                .counts(&format!("huff_freq_{c}"))
+                .expect("tracked")
+                .1
+        })
         .sum();
     println!("\nSymbols per neighbourhood context (why BTPC uses six coders):");
     let names = ["flat", "smooth", "edge-a", "edge-b", "ridge", "textured"];
     for (c, name) in names.iter().enumerate() {
         let (_, writes) = profile.counts(&format!("huff_freq_{c}")).expect("tracked");
-        println!("  ctx {c} ({name:<9}): {:>8.0} symbols ({:>5.1}%)", writes, writes / total * 100.0);
+        println!(
+            "  ctx {c} ({name:<9}): {:>8.0} symbols ({:>5.1}%)",
+            writes,
+            writes / total * 100.0
+        );
     }
 }

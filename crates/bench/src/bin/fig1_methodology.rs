@@ -6,17 +6,18 @@
 //! the accurate cost feedback at every leaf, plus the chosen path.
 
 use memx_bench::experiments::{self, CYCLE_BUDGET};
-use memx_core::alloc::AllocOptions;
 use memx_core::explore::{evaluate, EvaluateOptions};
 use memx_core::hierarchy::apply_hierarchy;
 use memx_core::structuring::{compact, merge};
 
 fn main() {
-    let ctx = experiments::paper_context();
+    let ctx = experiments::context();
     println!("Figure 1: stepwise refinement methodology (explored tree)");
-    println!("Pruned System Specification: {} basic groups, {} loop nests",
+    println!(
+        "Pruned System Specification: {} basic groups, {} loop nests",
         ctx.btpc.spec.basic_groups().len(),
-        ctx.btpc.spec.loop_nests().len());
+        ctx.btpc.spec.loop_nests().len()
+    );
 
     // Level 1: basic group structuring.
     let structurings = vec![
@@ -29,8 +30,8 @@ fn main() {
             ctx.btpc.pyr,
         ),
         {
-            let merged = merge(&ctx.btpc.spec, ctx.btpc.pyr, ctx.btpc.ridge)
-                .expect("merge is valid");
+            let merged =
+                merge(&ctx.btpc.spec, ctx.btpc.pyr, ctx.btpc.ridge).expect("merge is valid");
             ("BG Struct: ridge+pyr merged", merged.spec, merged.new_group)
         },
     ];
@@ -68,7 +69,7 @@ fn main() {
                 // Level 4: memory organization (allocation sweep).
                 let options = EvaluateOptions {
                     cycle_budget: Some(CYCLE_BUDGET - extra),
-                    alloc: AllocOptions::default(),
+                    alloc: ctx.alloc.clone(),
                 };
                 match evaluate(hspec, &ctx.lib, &options) {
                     Ok(report) => {
@@ -79,8 +80,7 @@ fn main() {
                             report.organization.on_chip_count(),
                             report.cost
                         );
-                        let label =
-                            format!("{slabel} / {hlabel} / {blabel}");
+                        let label = format!("{slabel} / {hlabel} / {blabel}");
                         if best.as_ref().map(|(_, s)| scalar < *s).unwrap_or(true) {
                             best = Some((label, scalar));
                         }

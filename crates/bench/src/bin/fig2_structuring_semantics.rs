@@ -11,10 +11,13 @@ fn main() {
     let wide = b.basic_group("wide", 512, 8).expect("valid group");
     let nest = b.loop_nest("kernel", 512).expect("valid nest");
     for _ in 0..3 {
-        b.access(nest, narrow, AccessKind::Read).expect("valid access");
-        b.access(nest, wide, AccessKind::Read).expect("valid access");
+        b.access(nest, narrow, AccessKind::Read)
+            .expect("valid access");
+        b.access(nest, wide, AccessKind::Read)
+            .expect("valid access");
     }
-    b.access(nest, narrow, AccessKind::Write).expect("valid access");
+    b.access(nest, narrow, AccessKind::Write)
+        .expect("valid access");
     b.cycle_budget(1 << 20);
     let spec = b.build().expect("valid spec");
 
@@ -40,8 +43,14 @@ fn main() {
     describe("original", &spec);
 
     let compacted = compact(&spec, narrow, 3).expect("compaction is valid");
-    describe("(a) `narrow` compacted x3 (3 words -> 1 wider word)", &compacted.spec);
+    describe(
+        "(a) `narrow` compacted x3 (3 words -> 1 wider word)",
+        &compacted.spec,
+    );
 
     let merged = merge(&spec, wide, narrow).expect("merge is valid");
-    describe("(b) `wide` and `narrow` merged (array of records)", &merged.spec);
+    describe(
+        "(b) `wide` and `narrow` merged (array of records)",
+        &merged.spec,
+    );
 }

@@ -6,11 +6,11 @@ use memx_bench::experiments;
 use memx_core::hierarchy::apply_hierarchy;
 
 fn main() {
-    let ctx = experiments::paper_context();
+    let ctx = experiments::context();
     let (spec, pixel_store) = experiments::merged_spec(&ctx).expect("merge is valid");
     let (ylocal, _, yhier_feeding) = experiments::figure3_layers();
-    let chain = apply_hierarchy(&spec, pixel_store, &[ylocal, yhier_feeding])
-        .expect("layers are valid");
+    let chain =
+        apply_hierarchy(&spec, pixel_store, &[ylocal, yhier_feeding]).expect("layers are valid");
 
     println!("Figure 3: memory hierarchy for the pixel store (Layer 2 -> Layer 0)\n");
     let target = chain.spec.group(pixel_store);
@@ -49,7 +49,11 @@ fn main() {
                 "  {:<14} x{:>9}  ({})",
                 nest.name(),
                 nest.iterations(),
-                if burst { "page-mode burst from off-chip" } else { "on-chip transfer" }
+                if burst {
+                    "page-mode burst from off-chip"
+                } else {
+                    "on-chip transfer"
+                }
             );
         }
     }

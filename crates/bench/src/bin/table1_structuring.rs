@@ -4,7 +4,7 @@
 use memx_bench::experiments;
 
 fn main() {
-    let ctx = experiments::paper_context();
+    let ctx = experiments::context();
     match experiments::table1(&ctx) {
         Ok(exp) => print!(
             "{}",

@@ -4,7 +4,7 @@
 use memx_bench::experiments;
 
 fn main() {
-    let ctx = experiments::paper_context();
+    let ctx = experiments::context();
     match experiments::table2(&ctx) {
         Ok(exp) => print!(
             "{}",

@@ -4,7 +4,7 @@
 use memx_bench::experiments;
 
 fn main() {
-    let ctx = experiments::paper_context();
+    let ctx = experiments::context();
     let extras = match experiments::extended_extras(&ctx) {
         Ok(extras) => extras,
         Err(e) => {

@@ -4,7 +4,7 @@
 use memx_bench::experiments;
 
 fn main() {
-    let ctx = experiments::paper_context();
+    let ctx = experiments::context();
     let counts = experiments::paper_allocations();
     match experiments::table4(&ctx, &counts) {
         Ok(rows) => {
@@ -13,10 +13,7 @@ fn main() {
                 "{:<24} {:>16} {:>16} {:>16}",
                 "Version", "on-chip area", "on-chip power", "off-chip power"
             );
-            println!(
-                "{:<24} {:>16} {:>16} {:>16}",
-                "", "[mm2]", "[mW]", "[mW]"
-            );
+            println!("{:<24} {:>16} {:>16} {:>16}", "", "[mm2]", "[mW]", "[mW]");
             for row in rows {
                 println!(
                     "{:<24} {:>16.1} {:>16.1} {:>16.1}",

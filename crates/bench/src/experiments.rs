@@ -35,40 +35,87 @@ pub const CYCLE_BUDGET: u64 = 20_000_000;
 pub const PROFILE_FRAME: usize = 128;
 /// Deterministic profiling seed.
 pub const SEED: u64 = 0xB7C0DE;
+/// Profiling frame edge in smoke mode: big enough to exercise every
+/// pyramid level and coder context, small enough to finish instantly.
+pub const SMOKE_PROFILE_FRAME: usize = 64;
+/// Branch-and-bound node budget in smoke mode (falls back to the best
+/// incumbent, so results stay well-formed, just not proven optimal).
+pub const SMOKE_NODE_LIMIT: u64 = 200_000;
 
-/// Everything the experiments share: the profiled spec and the
-/// technology library.
+/// True when the fast smoke-test mode is on: the `MEMX_SMOKE`
+/// environment variable is set to anything non-empty but `0`, or the
+/// binary was invoked with a `--smoke` argument. Every table/figure
+/// binary honors it through [`context`], trading profile resolution and
+/// allocation search effort for a runtime of seconds — CI uses it to
+/// keep the paper-reproduction binaries from rotting. Library entry
+/// points ([`paper_context`] and everything built on it) never read this
+/// ambient state, so tests and benches stay deterministic regardless of
+/// the caller's environment.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("MEMX_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+        || std::env::args().any(|a| a == "--smoke")
+}
+
+/// Everything the experiments share: the profiled spec, the technology
+/// library, and the allocation search options every table uses.
 #[derive(Debug)]
 pub struct PaperContext {
     /// The pruned BTPC specification (18 basic groups).
     pub btpc: BtpcSpec,
     /// The calibrated technology library.
     pub lib: MemLibrary,
+    /// Allocation options for every evaluation run on this context
+    /// (reduced search budget when built by [`context`] in smoke mode).
+    pub alloc: AllocOptions,
+}
+
+impl PaperContext {
+    /// The evaluation options every table starts from: the allocation
+    /// sweep picks the cheapest on-chip memory count for each variant.
+    pub fn options(&self) -> EvaluateOptions {
+        EvaluateOptions {
+            cycle_budget: None,
+            alloc: self.alloc.clone(),
+        }
+    }
 }
 
 /// Profiles the codec and builds the production spec (shared entry point
-/// of all experiments).
+/// of all experiments) at full paper fidelity, independent of any
+/// environment state.
 ///
 /// # Panics
 ///
 /// Panics if the instrumented encode or spec construction fails — both
 /// are deterministic and covered by tests.
 pub fn paper_context() -> PaperContext {
-    let profile = measure_profile(PROFILE_FRAME, PROFILE_FRAME, SEED);
+    context_with(PROFILE_FRAME, AllocOptions::default())
+}
+
+/// The context for the reproduction *binaries*: full paper fidelity
+/// normally, the cheap profile and reduced allocation search when
+/// [`smoke_mode`] is on. Only binaries should call this — library users,
+/// tests and benches use the env-independent [`paper_context`].
+pub fn context() -> PaperContext {
+    if smoke_mode() {
+        let alloc = AllocOptions {
+            node_limit: SMOKE_NODE_LIMIT,
+            ..AllocOptions::default()
+        };
+        context_with(SMOKE_PROFILE_FRAME, alloc)
+    } else {
+        paper_context()
+    }
+}
+
+fn context_with(frame: usize, alloc: AllocOptions) -> PaperContext {
+    let profile = measure_profile(frame, frame, SEED);
     let btpc = btpc_app_spec(&profile, FRAME, FRAME, CYCLE_BUDGET)
         .expect("paper spec construction is deterministic");
     PaperContext {
         btpc,
         lib: MemLibrary::default_07um(),
-    }
-}
-
-/// Default evaluation options used throughout the tables: the allocation
-/// sweep picks the cheapest on-chip memory count for each variant.
-pub fn default_options() -> EvaluateOptions {
-    EvaluateOptions {
-        cycle_budget: None,
-        alloc: AllocOptions::default(),
+        alloc,
     }
 }
 
@@ -79,7 +126,7 @@ pub fn default_options() -> EvaluateOptions {
 /// Propagates pipeline errors (none occur with the default context).
 pub fn table1(ctx: &PaperContext) -> Result<Exploration<'_>, ExploreError> {
     let mut exp = Exploration::new(&ctx.lib);
-    let options = default_options();
+    let options = ctx.options();
     exp.add("No structuring", &ctx.btpc.spec, &options)?;
     let compacted = compact(&ctx.btpc.spec, ctx.btpc.ridge, 3)?;
     exp.add("ridge compacted", &compacted.spec, &options)?;
@@ -121,7 +168,7 @@ pub fn figure3_layers() -> (HierarchyLayer, HierarchyLayer, HierarchyLayer) {
 pub fn table2(ctx: &PaperContext) -> Result<Exploration<'_>, ExploreError> {
     let (spec, pixel_store) = merged_spec(ctx)?;
     let (ylocal, yhier_serving, yhier_feeding) = figure3_layers();
-    let options = default_options();
+    let options = ctx.options();
     let mut exp = Exploration::new(&ctx.lib);
     exp.add("No hierarchy", &spec, &options)?;
     let l1 = apply_hierarchy(&spec, pixel_store, std::slice::from_ref(&yhier_serving))?;
@@ -169,7 +216,7 @@ pub fn table3(ctx: &PaperContext, extras: &[u64]) -> Result<Vec<BudgetRow>, Expl
     for &extra in extras {
         let options = EvaluateOptions {
             cycle_budget: Some(CYCLE_BUDGET - extra),
-            alloc: AllocOptions::default(),
+            alloc: ctx.alloc.clone(),
         };
         match memx_core::explore::evaluate(&spec, &ctx.lib, &options) {
             Ok(report) => rows.push(BudgetRow {
@@ -270,7 +317,7 @@ pub fn table4(ctx: &PaperContext, counts: &[u32]) -> Result<Vec<AllocationRow>, 
             cycle_budget: Some(budget),
             alloc: AllocOptions {
                 on_chip_memories: Some(k),
-                ..AllocOptions::default()
+                ..ctx.alloc.clone()
             },
         };
         let report = memx_core::explore::evaluate(&spec, &ctx.lib, &options)?;

@@ -76,7 +76,9 @@ fn run() -> Result<(), String> {
             let input = fs::read(&args[1]).map_err(|e| format!("{}: {e}", args[1]))?;
             let image = decode_pgm(&input).map_err(|e| e.to_string())?;
             let cfg = config(quant);
-            let encoded = Encoder::new(cfg).encode(&image).map_err(|e| e.to_string())?;
+            let encoded = Encoder::new(cfg)
+                .encode(&image)
+                .map_err(|e| e.to_string())?;
             let decoded = Decoder::new(cfg)
                 .decode(&encoded)
                 .map_err(|e| e.to_string())?;

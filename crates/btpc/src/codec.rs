@@ -18,11 +18,11 @@ use std::fmt;
 
 use memx_profile::ProfileRegistry;
 
+use crate::pyramid::top_pixels;
 use crate::{
     classify, level_count, new_pixels, predict, AdaptiveHuffman, BitReader, BitWriter, Image,
     Level, ReadBitsError,
 };
-use crate::pyramid::top_pixels;
 
 /// Number of neighbourhood patterns / Huffman contexts.
 pub(crate) const CONTEXTS: usize = 6;
@@ -137,9 +137,8 @@ impl Encoded {
         if bytes.len() < 18 || &bytes[..4] != b"BTPC" {
             return Err(corrupt(0));
         }
-        let u32_at = |i: usize| {
-            u32::from_le_bytes(bytes[i..i + 4].try_into().expect("length checked"))
-        };
+        let u32_at =
+            |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("length checked"));
         let width = u32_at(4) as usize;
         let height = u32_at(8) as usize;
         let quant_step = u16::from_le_bytes(bytes[12..14].try_into().expect("length checked"));
@@ -229,7 +228,11 @@ impl Pipeline {
             zz[idx] = sym;
             uz[usize::from(sym)] = idx as u16;
             // Nearest-multiple quantization index, biased away from zero.
-            let k = if e >= 0 { (e + q / 2) / q } else { -((-e + q / 2) / q) };
+            let k = if e >= 0 {
+                (e + q / 2) / q
+            } else {
+                -((-e + q / 2) / q)
+            };
             qt[idx] = (k + 255) as u16;
         }
         zigzag.fill_untracked(&zz);
@@ -497,7 +500,11 @@ mod tests {
         let img = Image::synthetic_noise(64, 64, 5);
         let encoded = Encoder::new(CodecConfig::lossless()).encode(&img).unwrap();
         // Entropy coding random 8-bit data costs < 1.5x raw.
-        assert!(encoded.bit_len() < 64 * 64 * 12, "bits {}", encoded.bit_len());
+        assert!(
+            encoded.bit_len() < 64 * 64 * 12,
+            "bits {}",
+            encoded.bit_len()
+        );
     }
 
     #[test]
@@ -516,7 +523,9 @@ mod tests {
     fn config_mismatch_detected() {
         let img = Image::synthetic_gradient(16, 16);
         let encoded = Encoder::new(CodecConfig::lossless()).encode(&img).unwrap();
-        let err = Decoder::new(CodecConfig::lossy(4)).decode(&encoded).unwrap_err();
+        let err = Decoder::new(CodecConfig::lossy(4))
+            .decode(&encoded)
+            .unwrap_err();
         assert_eq!(err, CodecError::ConfigMismatch);
     }
 

@@ -8,8 +8,8 @@
 //! [`TrackedArray`]s: they are basic groups of the application (the
 //! paper's 20-bit-wide arrays are exactly these frequency counters).
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use memx_profile::{ProfileRegistry, TrackedArray};
 
@@ -68,7 +68,10 @@ impl AdaptiveHuffman {
     ///
     /// Panics if `symbols` is 0 or exceeds `u16::MAX`, or `period` is 0.
     pub fn new(context: usize, symbols: usize, period: u32, registry: &ProfileRegistry) -> Self {
-        assert!(symbols > 0 && symbols <= usize::from(u16::MAX), "bad alphabet size");
+        assert!(
+            symbols > 0 && symbols <= usize::from(u16::MAX),
+            "bad alphabet size"
+        );
         assert!(period > 0, "rebuild period must be positive");
         let mut freq = registry.array(&format!("huff_freq_{context}"), symbols);
         freq.fill_untracked(&vec![1u32; symbols]);

@@ -133,11 +133,13 @@ pub fn decode_pgm(bytes: &[u8]) -> Result<Image, PgmError> {
     if binary {
         // Exactly one whitespace byte separates header and raster.
         pos += 1;
-        let raster = bytes.get(pos..pos + width * height).ok_or(PgmError::Truncated)?;
+        let raster = bytes
+            .get(pos..pos + width * height)
+            .ok_or(PgmError::Truncated)?;
         pixels.extend(raster.iter().map(|&b| u16::from(b)));
     } else {
-        let (values, _) = read_tokens(&bytes[pos..], width * height)
-            .map_err(|_| PgmError::Truncated)?;
+        let (values, _) =
+            read_tokens(&bytes[pos..], width * height).map_err(|_| PgmError::Truncated)?;
         pixels.extend(values.iter().map(|&v| v.min(255) as u16));
     }
     Ok(Image::from_pixels(width, height, pixels))

@@ -15,8 +15,9 @@
 //! their mutual exclusion (per pixel only one coder runs) for the
 //! storage-cycle-budget distribution.
 
-use memx_ir::{AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, BuildSpecError, LoopNestId,
-              Placement};
+use memx_ir::{
+    AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, BuildSpecError, LoopNestId, Placement,
+};
 use memx_profile::{Profile, ProfileRegistry};
 
 use crate::{CodecConfig, Encoder, Image};

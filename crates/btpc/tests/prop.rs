@@ -1,9 +1,7 @@
 //! Property-based tests on the codec: round trips, lossy error bounds,
 //! entropy-coder correctness on arbitrary streams.
 
-use memx_btpc::{
-    AdaptiveHuffman, BitReader, BitWriter, CodecConfig, Decoder, Encoder, Image,
-};
+use memx_btpc::{AdaptiveHuffman, BitReader, BitWriter, CodecConfig, Decoder, Encoder, Image};
 use memx_profile::ProfileRegistry;
 use proptest::prelude::*;
 

@@ -459,8 +459,7 @@ fn assign_on_chip(
             let grp = spec.group(g);
             let module = OnChipSpec::new(grp.words(), grp.bitwidth(), 1);
             let energy = lib.on_chip().energy_pj(&module);
-            let cells =
-                memx_memlib::calibration::ON_CHIP_AREA_PER_BIT_MM2 * grp.bits() as f64;
+            let cells = memx_memlib::calibration::ON_CHIP_AREA_PER_BIT_MM2 * grp.bits() as f64;
             let mw = energy * traffic[g.index()].total() / time_s / 1e9;
             cells * options.area_weight + mw * options.power_weight
         })
@@ -494,8 +493,18 @@ fn assign_on_chip(
             if ports > self.options.max_on_chip_ports {
                 return None;
             }
-            let mem = on_chip_memory(self.spec, self.traffic, self.lib, members, ports, self.time_s);
-            Some(mem.cost.scalar(self.options.area_weight, self.options.power_weight))
+            let mem = on_chip_memory(
+                self.spec,
+                self.traffic,
+                self.lib,
+                members,
+                ports,
+                self.time_s,
+            );
+            Some(
+                mem.cost
+                    .scalar(self.options.area_weight, self.options.power_weight),
+            )
         }
 
         fn recurse(
@@ -697,7 +706,10 @@ mod tests {
                 on_chip_memories: Some(k),
                 ..AllocOptions::default()
             };
-            assign(&spec, &s, &lib(), &options).unwrap().cost.on_chip_power_mw
+            assign(&spec, &s, &lib(), &options)
+                .unwrap()
+                .cost
+                .on_chip_power_mw
         };
         assert!(power(3) <= power(1));
     }

@@ -145,10 +145,7 @@ impl<'a> Exploration<'a> {
         for r in &self.reports {
             out.push_str(&format!(
                 "{:<28} {:>16.1} {:>16.1} {:>16.1}\n",
-                r.label,
-                r.cost.on_chip_area_mm2,
-                r.cost.on_chip_power_mw,
-                r.cost.off_chip_power_mw
+                r.label, r.cost.on_chip_area_mm2, r.cost.on_chip_power_mw, r.cost.off_chip_power_mw
             ));
         }
         out
@@ -221,7 +218,8 @@ mod tests {
     fn exploration_collects_and_ranks() {
         let lib = MemLibrary::default_07um();
         let mut exp = Exploration::new(&lib);
-        exp.add("base", &spec(), &EvaluateOptions::default()).unwrap();
+        exp.add("base", &spec(), &EvaluateOptions::default())
+            .unwrap();
         exp.add(
             "tight",
             &spec(),
@@ -243,7 +241,8 @@ mod tests {
     fn pareto_front_drops_dominated_variants() {
         let lib = MemLibrary::default_07um();
         let mut exp = Exploration::new(&lib);
-        exp.add("loose", &spec(), &EvaluateOptions::default()).unwrap();
+        exp.add("loose", &spec(), &EvaluateOptions::default())
+            .unwrap();
         exp.add(
             "tight",
             &spec(),

@@ -125,7 +125,13 @@ pub fn apply_hierarchy(
     // Rebuild: original groups + one new group per layer.
     let mut b = AppSpecBuilder::new(spec.name());
     for g in spec.basic_groups() {
-        b.basic_group_full(g.name(), g.words(), g.bitwidth(), g.placement(), g.min_ports())?;
+        b.basic_group_full(
+            g.name(),
+            g.words(),
+            g.bitwidth(),
+            g.placement(),
+            g.min_ports(),
+        )?;
     }
     let mut layer_ids = Vec::with_capacity(layers.len());
     for l in layers {

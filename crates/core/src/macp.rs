@@ -108,10 +108,7 @@ pub fn analyze(spec: &AppSpec) -> MacpReport {
             critical_path: body_critical_path(spec, nest),
         })
         .collect();
-    let total_cycles = bodies
-        .iter()
-        .map(|b| b.iterations * b.critical_path)
-        .sum();
+    let total_cycles = bodies.iter().map(|b| b.iterations * b.critical_path).sum();
     MacpReport {
         bodies,
         total_cycles,
@@ -131,9 +128,7 @@ mod tests {
         } else {
             Placement::Any
         };
-        let g = b
-            .basic_group_placed("g", 1024, 8, placement)
-            .unwrap();
+        let g = b.basic_group_placed("g", 1024, 8, placement).unwrap();
         let n = b.loop_nest("l", 100).unwrap();
         let a0 = b.access(n, g, AccessKind::Read).unwrap();
         let a1 = b.access(n, g, AccessKind::Read).unwrap();
@@ -192,7 +187,10 @@ mod tests {
         b.cycle_budget(1000);
         let spec = b.build().unwrap();
         let report = analyze(&spec);
-        assert_eq!(report.bodies[0].critical_path, timing::OFF_CHIP_BURST_CYCLES);
+        assert_eq!(
+            report.bodies[0].critical_path,
+            timing::OFF_CHIP_BURST_CYCLES
+        );
     }
 
     #[test]

@@ -155,15 +155,8 @@ mod tests {
     fn group_ids_are_stable() {
         let spec = spec_with_minor_nest();
         let report = prune(&spec, 0.001).unwrap();
-        assert_eq!(
-            report.spec.basic_groups().len(),
-            spec.basic_groups().len()
-        );
-        for (a, b) in spec
-            .basic_groups()
-            .iter()
-            .zip(report.spec.basic_groups())
-        {
+        assert_eq!(report.spec.basic_groups().len(), spec.basic_groups().len());
+        for (a, b) in spec.basic_groups().iter().zip(report.spec.basic_groups()) {
             assert_eq!(a.name(), b.name());
         }
     }

@@ -104,11 +104,7 @@ pub fn organization_report(spec: &AppSpec, org: &Organization) -> String {
         org.cost
     );
     for mem in &org.memories {
-        let names: Vec<&str> = mem
-            .groups
-            .iter()
-            .map(|&g| spec.group(g).name())
-            .collect();
+        let names: Vec<&str> = mem.groups.iter().map(|&g| spec.group(g).name()).collect();
         let kind = match &mem.kind {
             MemoryKind::OnChip => "on-chip SRAM".to_owned(),
             MemoryKind::OffChip(sel) => format!("off-chip {}", sel.part()),

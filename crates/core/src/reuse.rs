@@ -97,7 +97,10 @@ pub fn candidates(spec: &AppSpec, group: BasicGroupId) -> Vec<ReuseCandidate> {
     if g.placement() != Placement::OffChip || stats.reads_per_word <= 1.0 {
         return out;
     }
-    let window_reuse = stats.max_reads_per_iteration.max(1.0).min(stats.reads_per_word);
+    let window_reuse = stats
+        .max_reads_per_iteration
+        .max(1.0)
+        .min(stats.reads_per_word);
     // Register window: a few words more than one iteration touches,
     // dual-ported because it is filled while being read.
     if window_reuse > 1.2 {

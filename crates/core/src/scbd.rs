@@ -331,10 +331,7 @@ pub fn distribute_asap(spec: &AppSpec, budget: u64) -> Result<ScbdResult, Explor
         .iter()
         .filter(|n| !n.accesses().is_empty())
         .collect();
-    let budgets: Vec<u64> = nests
-        .iter()
-        .map(|n| body_critical_path(spec, n))
-        .collect();
+    let budgets: Vec<u64> = nests.iter().map(|n| body_critical_path(spec, n)).collect();
     let used: u64 = nests
         .iter()
         .zip(&budgets)
@@ -380,18 +377,10 @@ pub fn distribute_with_budget(spec: &AppSpec, budget: u64) -> Result<ScbdResult,
         .filter(|n| !n.accesses().is_empty())
         .collect();
     // Start at the critical-path minimum per body.
-    let mut budgets: Vec<u64> = nests
-        .iter()
-        .map(|n| body_critical_path(spec, n))
-        .collect();
+    let mut budgets: Vec<u64> = nests.iter().map(|n| body_critical_path(spec, n)).collect();
     let serial: Vec<u64> = nests
         .iter()
-        .map(|n| {
-            n.accesses()
-                .iter()
-                .map(|a| access_duration(spec, a))
-                .sum()
-        })
+        .map(|n| n.accesses().iter().map(|a| access_duration(spec, a)).sum())
         .collect();
     let mut used: u64 = nests
         .iter()

@@ -172,10 +172,7 @@ pub fn compact(
             if pending.is_empty() {
                 return;
             }
-            let weight = pending
-                .iter()
-                .map(|a| a.weight())
-                .fold(0.0f64, f64::max);
+            let weight = pending.iter().map(|a| a.weight()).fold(0.0f64, f64::max);
             plan.push(PlannedAccess {
                 group: group.index(),
                 kind: AccessKind::Read,

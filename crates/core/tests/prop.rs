@@ -12,7 +12,11 @@ use proptest::prelude::*;
 fn arb_spec() -> impl Strategy<Value = AppSpec> {
     let group = (1u64..5_000, 1u32..24, prop::bool::ANY);
     let access = (0usize..8, prop::bool::ANY);
-    let nest = (1u64..200, prop::collection::vec(access, 1..7), prop::bool::ANY);
+    let nest = (
+        1u64..200,
+        prop::collection::vec(access, 1..7),
+        prop::bool::ANY,
+    );
     (
         prop::collection::vec(group, 1..5),
         prop::collection::vec(nest, 1..4),

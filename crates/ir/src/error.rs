@@ -62,7 +62,10 @@ impl fmt::Display for BuildSpecError {
                 write!(f, "basic group `{name}` has zero words")
             }
             BuildSpecError::BadBitwidth { name, bitwidth } => {
-                write!(f, "basic group `{name}` has invalid bitwidth {bitwidth} (must be 1..=64)")
+                write!(
+                    f,
+                    "basic group `{name}` has invalid bitwidth {bitwidth} (must be 1..=64)"
+                )
             }
             BuildSpecError::ZeroIterations { name } => {
                 write!(f, "loop nest `{name}` has zero iterations")

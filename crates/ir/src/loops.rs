@@ -92,18 +92,12 @@ impl LoopNest {
 
     /// Successors of `id` in the flow graph.
     pub fn successors(&self, id: AccessId) -> impl Iterator<Item = AccessId> + '_ {
-        self.deps
-            .iter()
-            .filter(move |e| e.from == id)
-            .map(|e| e.to)
+        self.deps.iter().filter(move |e| e.from == id).map(|e| e.to)
     }
 
     /// Predecessors of `id` in the flow graph.
     pub fn predecessors(&self, id: AccessId) -> impl Iterator<Item = AccessId> + '_ {
-        self.deps
-            .iter()
-            .filter(move |e| e.to == id)
-            .map(|e| e.from)
+        self.deps.iter().filter(move |e| e.to == id).map(|e| e.from)
     }
 
     /// Total (weighted) accesses this nest contributes to `group` per

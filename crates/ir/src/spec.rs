@@ -165,11 +165,7 @@ impl AppSpec {
             name: self.name.clone(),
             groups: self.groups.clone(),
             nests: self.nests.clone(),
-            names: self
-                .groups
-                .iter()
-                .map(|g| (g.name.clone(), g.id))
-                .collect(),
+            names: self.groups.iter().map(|g| (g.name.clone(), g.id)).collect(),
             cycle_budget: Some(self.cycle_budget),
             real_time_s: self.real_time_s,
         }
@@ -414,7 +410,9 @@ impl AppSpecBuilder {
     /// Returns an error if no cycle budget was set or the budget is below
     /// the memory-access critical path (no legal schedule exists).
     pub fn build(&self) -> Result<AppSpec, BuildSpecError> {
-        let budget = self.cycle_budget.ok_or(BuildSpecError::MissingCycleBudget)?;
+        let budget = self
+            .cycle_budget
+            .ok_or(BuildSpecError::MissingCycleBudget)?;
         let spec = AppSpec {
             name: self.name.clone(),
             groups: self.groups.clone(),
@@ -619,12 +617,8 @@ mod tests {
         let mut b = AppSpecBuilder::new("t");
         let g = b.basic_group("g", 4, 4).unwrap();
         let n = b.loop_nest("l", 1).unwrap();
-        assert!(b
-            .access(LoopNestId(9), g, AccessKind::Read)
-            .is_err());
-        assert!(b
-            .access(n, BasicGroupId(9), AccessKind::Read)
-            .is_err());
+        assert!(b.access(LoopNestId(9), g, AccessKind::Read).is_err());
+        assert!(b.access(n, BasicGroupId(9), AccessKind::Read).is_err());
         assert!(b.depend(n, AccessId(0), AccessId(1)).is_err());
     }
 

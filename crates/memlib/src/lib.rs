@@ -41,7 +41,9 @@ mod onchip;
 pub mod timing;
 
 pub use cost::CostBreakdown;
-pub use offchip::{OffChipCatalog, OffChipPart, OffChipSelection, ParseCatalogError, SelectPartError};
+pub use offchip::{
+    OffChipCatalog, OffChipPart, OffChipSelection, ParseCatalogError, SelectPartError,
+};
 pub use onchip::{OnChipModel, OnChipSpec};
 
 /// The complete memory technology library handed to the exploration tools.

@@ -32,7 +32,10 @@ impl OffChipPart {
         energy_pj: f64,
         static_mw: f64,
     ) -> Self {
-        assert!(words > 0 && width > 0, "part organization must be non-empty");
+        assert!(
+            words > 0 && width > 0,
+            "part organization must be non-empty"
+        );
         assert!(
             energy_pj > 0.0 && static_mw > 0.0,
             "part power figures must be positive"
@@ -113,7 +116,10 @@ impl fmt::Display for SelectPartError {
         match self {
             SelectPartError::EmptyCatalog => write!(f, "off-chip catalog is empty"),
             SelectPartError::UnsupportedPorts { ports } => {
-                write!(f, "off-chip memories support at most 2 ports, {ports} requested")
+                write!(
+                    f,
+                    "off-chip memories support at most 2 ports, {ports} requested"
+                )
             }
         }
     }
@@ -216,9 +222,11 @@ impl OffChipCatalog {
     /// memory").
     pub fn default_edo() -> Self {
         let mut parts = Vec::new();
-        for &(depth_name, words) in
-            &[("256K", 256 * 1024u64), ("1M", 1024 * 1024), ("4M", 4 * 1024 * 1024)]
-        {
+        for &(depth_name, words) in &[
+            ("256K", 256 * 1024u64),
+            ("1M", 1024 * 1024),
+            ("4M", 4 * 1024 * 1024),
+        ] {
             for &width in &[4u32, 8, 16, 32] {
                 let energy = cal::OFF_CHIP_ENERGY_BASE_PJ
                     + cal::OFF_CHIP_ENERGY_PER_BIT_PJ * f64::from(width);

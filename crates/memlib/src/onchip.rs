@@ -119,10 +119,9 @@ impl OnChipModel {
     pub fn energy_pj(&self, spec: &OnChipSpec) -> f64 {
         let ports = f64::from(spec.ports());
         let port_factor = 1.0 + self.port_energy_factor * (ports - 1.0);
-        let size = self.energy_base_pj
-            + self.energy_per_sqrt_word_pj * (spec.words() as f64).sqrt();
-        let width =
-            (self.energy_width_offset + f64::from(spec.width())) / self.energy_width_norm;
+        let size =
+            self.energy_base_pj + self.energy_per_sqrt_word_pj * (spec.words() as f64).sqrt();
+        let width = (self.energy_width_offset + f64::from(spec.width())) / self.energy_width_norm;
         size * width * port_factor
     }
 }

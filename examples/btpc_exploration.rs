@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut t1 = Exploration::new(&lib);
     t1.add("No structuring", &btpc.spec, &EvaluateOptions::default())?;
     let merged = merge(&btpc.spec, btpc.pyr, btpc.ridge)?;
-    t1.add("ridge and pyr merged", &merged.spec, &EvaluateOptions::default())?;
+    t1.add(
+        "ridge and pyr merged",
+        &merged.spec,
+        &EvaluateOptions::default(),
+    )?;
     print!("{}", t1.to_table("Step 3 — structuring feedback:"));
     println!("-> merging wins: fewer off-chip accesses relax the bandwidth.\n");
 
@@ -68,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let with_layer = apply_hierarchy(&merged.spec, merged.new_group, &[ylocal])?;
     let mut t2 = Exploration::new(&lib);
     t2.add("No hierarchy", &merged.spec, &EvaluateOptions::default())?;
-    t2.add("ylocal layer", &with_layer.spec, &EvaluateOptions::default())?;
+    t2.add(
+        "ylocal layer",
+        &with_layer.spec,
+        &EvaluateOptions::default(),
+    )?;
     print!("{}", t2.to_table("Step 4 — hierarchy feedback:"));
     println!("-> the 12-register layer removes the dual-port off-chip need.\n");
 

@@ -19,8 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let merged = merge(&btpc.spec, btpc.pyr, btpc.ridge)?;
     let lib = MemLibrary::default_07um();
 
-    println!("{:<12} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "extra", "budget", "used", "area", "on-chip", "off-chip");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "extra", "budget", "used", "area", "on-chip", "off-chip"
+    );
     let mut last_feasible = 0u64;
     for pct in (0..60).step_by(4) {
         let extra = BUDGET * pct / 100;

@@ -46,11 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let feedback = evaluate(&spec, &lib, &EvaluateOptions::default())?;
     println!("Memory organization: {}", feedback.cost);
     for mem in &feedback.organization.memories {
-        let names: Vec<&str> = mem
-            .groups
-            .iter()
-            .map(|&g| spec.group(g).name())
-            .collect();
+        let names: Vec<&str> = mem.groups.iter().map(|&g| spec.group(g).name()).collect();
         println!(
             "  {:>8} words x {:>2} bit, {} port(s): {}",
             mem.words,

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Smoke-runs every table/figure reproduction binary on tiny inputs
+# (MEMX_SMOKE=1) so CI catches rot in the paper-reproduction entry points.
+# Each binary must exit 0 and print something.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BINARIES=(
+    table1_structuring
+    table2_hierarchy
+    table3_cycle_budget
+    table4_allocation
+    fig1_methodology
+    fig2_structuring_semantics
+    fig3_hierarchy_chain
+    codec_rd_sweep
+    auto_hierarchy
+    ablation_balancing
+)
+
+cargo build --release --package memx-bench --bins
+
+export MEMX_SMOKE=1
+status=0
+for bin in "${BINARIES[@]}"; do
+    printf 'smoke: %-28s ' "$bin"
+    started=$(date +%s)
+    if output=$("./target/release/$bin" 2>&1) && [ -n "$output" ]; then
+        printf 'ok (%ss, %s lines)\n' "$(($(date +%s) - started))" "$(wc -l <<<"$output")"
+    else
+        printf 'FAILED\n%s\n' "$output"
+        status=1
+    fi
+done
+exit $status

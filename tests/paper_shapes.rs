@@ -85,18 +85,14 @@ fn table3_budget_can_tighten_substantially_for_free() {
     }
     // Budgets are actually distributed within the tightened totals.
     for row in &rows {
-        assert!(
-            row.report.schedule.used_cycles
-                <= experiments::CYCLE_BUDGET - row.extra_cycles
-        );
+        assert!(row.report.schedule.used_cycles <= experiments::CYCLE_BUDGET - row.extra_cycles);
     }
 }
 
 #[test]
 fn table4_power_monotone_and_area_u_shaped() {
     let ctx = ctx();
-    let rows =
-        experiments::table4(&ctx, &experiments::paper_allocations()).expect("table 4 runs");
+    let rows = experiments::table4(&ctx, &experiments::paper_allocations()).expect("table 4 runs");
     assert_eq!(rows.len(), 5);
     // On-chip power decreases monotonically with more memories (paper:
     // 47.7 -> 38.6 -> 29.3 -> 26.9 -> 25.1).
@@ -110,7 +106,12 @@ fn table4_power_monotone_and_area_u_shaped() {
     }
     // Area falls first (bitwidth waste / banking) and rises again at the
     // end (per-module overhead) — the paper's 84.0 -> 65.7 -> 69.5 dip.
-    let first = rows.first().expect("five rows").report.cost.on_chip_area_mm2;
+    let first = rows
+        .first()
+        .expect("five rows")
+        .report
+        .cost
+        .on_chip_area_mm2;
     let last = rows.last().expect("five rows").report.cost.on_chip_area_mm2;
     let min = rows
         .iter()
@@ -119,7 +120,10 @@ fn table4_power_monotone_and_area_u_shaped() {
     assert!(min < first, "no initial area decrease");
     assert!(min < last, "no final area increase");
     // Off-chip side is untouched by the on-chip allocation.
-    let off: Vec<f64> = rows.iter().map(|r| r.report.cost.off_chip_power_mw).collect();
+    let off: Vec<f64> = rows
+        .iter()
+        .map(|r| r.report.cost.off_chip_power_mw)
+        .collect();
     for w in off.windows(2) {
         assert!((w[0] - w[1]).abs() < 1e-6);
     }

@@ -39,7 +39,10 @@ fn full_pipeline_from_pixels_to_organization() {
         &[HierarchyLayer::new("ylocal", 12, 2, 2.0)],
     )
     .expect("hierarchy valid");
-    layered.spec.validate().expect("transformed spec consistent");
+    layered
+        .spec
+        .validate()
+        .expect("transformed spec consistent");
 
     // 5. Schedule and allocate.
     let lib = MemLibrary::default_07um();
@@ -65,8 +68,7 @@ fn full_pipeline_from_pixels_to_organization() {
     assert_eq!(before, assigned.len(), "a group was assigned twice");
 
     // Costs are positive and consistent with the sum over memories.
-    let total: memexplore::memlib::CostBreakdown =
-        org.memories.iter().map(|m| m.cost).sum();
+    let total: memexplore::memlib::CostBreakdown = org.memories.iter().map(|m| m.cost).sum();
     assert!((total.on_chip_area_mm2 - org.cost.on_chip_area_mm2).abs() < 1e-9);
     assert!(org.cost.total_power_mw() > 0.0);
 }

@@ -87,8 +87,12 @@ fn transforms_commute_with_scheduling_feasibility() {
     let btpc = btpc();
     let variants = [
         btpc.spec.clone(),
-        compact(&btpc.spec, btpc.ridge, 3).expect("compaction valid").spec,
-        merge(&btpc.spec, btpc.pyr, btpc.ridge).expect("merge valid").spec,
+        compact(&btpc.spec, btpc.ridge, 3)
+            .expect("compaction valid")
+            .spec,
+        merge(&btpc.spec, btpc.pyr, btpc.ridge)
+            .expect("merge valid")
+            .spec,
     ];
     for (i, spec) in variants.iter().enumerate() {
         scbd::distribute(spec).unwrap_or_else(|e| panic!("variant {i} unschedulable: {e}"));

@@ -1,0 +1,33 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `[T; N]` by drawing each element from the same strategy.
+#[derive(Clone, Debug)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        core::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+/// Generates `[T; 2]` from one element strategy.
+pub fn uniform2<S: Strategy>(element: S) -> UniformArray<S, 2> {
+    UniformArray { element }
+}
+
+/// Generates `[T; 3]` from one element strategy.
+pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+    UniformArray { element }
+}
+
+/// Generates `[T; 4]` from one element strategy.
+pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+    UniformArray { element }
+}

@@ -1,0 +1,20 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngCore;
+
+/// Strategy yielding `true` or `false` with equal probability.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// The unique value of [`Any`], mirroring `proptest::bool::ANY`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate-registry access, so this shim
+//! implements the subset of proptest the workspace's property suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! * range, tuple, and boolean strategies, `collection::vec`,
+//!   `array::uniform3`, and [`strategy::Just`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the generated seed so it can be reproduced, but is not minimised.
+//! Generation is deterministic per test (seeded from the test's module
+//! path and name), so CI failures reproduce locally.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod array;
+pub mod bool;
+pub mod collection;
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of the `prop` module alias exported by proptest's prelude.
+    pub mod prop {
+        pub use crate::{array, bool, collection};
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+///
+/// The shim panics immediately (no shrinking), which the libtest harness
+/// reports as a test failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($config:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategies = ( $($strat,)* );
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let draws_before = rng.words_drawn();
+                    let ( $($arg,)* ) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest-shim: case {}/{} failed after {} draws; \
+                             generation is deterministic per test, re-run to reproduce",
+                            case + 1,
+                            config.cases,
+                            draws_before,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,62 @@
+//! Test-runner configuration and the deterministic RNG behind generation.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Run configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generation RNG, seeded from the test's full path so every
+/// property draws an independent but reproducible stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: SmallRng,
+    draws: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(hash),
+            draws: 0,
+        }
+    }
+
+    /// Number of words drawn so far. Generation is deterministic per
+    /// test name, so a failure reproduces by simply re-running the test;
+    /// this counter only identifies *where* in the stream it happened.
+    pub fn words_drawn(&self) -> u64 {
+        self.draws
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        let word = self.inner.next_u64();
+        self.draws = self.draws.wrapping_add(1);
+        word
+    }
+}

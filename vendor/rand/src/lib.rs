@@ -1,0 +1,182 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible subset).
+//!
+//! The build environment for this workspace has no access to a crate
+//! registry, so this shim provides exactly the surface the tree uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over integer and float ranges. The generator is a
+//! SplitMix64 stream — statistically fine for synthetic test images and
+//! property-test inputs, and fully deterministic per seed.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator that can be cheaply constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to draw a uniform sample of `T` from an RNG.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                // The unit draw is computed in f64 so that narrowing to f32
+                // cannot round up to exactly 1.0 and emit the excluded end;
+                // the clamp covers the end also being reachable by rounding
+                // of the final multiply-add.
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let sample = self.start + (unit as $t) * (self.end - self.start);
+                if sample < self.end {
+                    sample
+                } else {
+                    <$t>::max(self.start, self.end.next_down())
+                }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                // fl(end - start) can round up, letting the maximum draw
+                // overshoot end — clamp to keep the inclusive contract.
+                let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                <$t>::min(start + (unit as $t) * (end - start), end)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: one multiply-xorshift pipeline per output word.
+    ///
+    /// Not the xoshiro generator the real `rand` uses for `SmallRng`, but
+    /// the same contract: fast, seedable, deterministic, non-crypto.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-60i32..60);
+            assert!((-60..60).contains(&v));
+            let f = rng.gen_range(0.5f64..3.0);
+            assert!((0.5..3.0).contains(&f));
+            let u = rng.gen_range(0u16..=255);
+            assert!(u <= 255);
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_never_overshoots_end() {
+        // fl(0.2 - -0.1) rounds up, so an unclamped maximum draw would
+        // return 0.20000000000000004 > end.
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-0.1f64..=0.2);
+            assert!((-0.1..=0.2).contains(&v), "{v} escaped the range");
+        }
+    }
+
+    #[test]
+    fn full_u32_inclusive_range_does_not_overflow() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let _ = rng.gen_range(0u32..=u32::MAX);
+        }
+    }
+}
