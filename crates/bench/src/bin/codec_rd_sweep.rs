@@ -5,6 +5,7 @@
 
 use memx_bench::experiments;
 use memx_btpc::{CodecConfig, Decoder, Encoder, Image};
+use memx_core::engine::parallel_map;
 use memx_profile::ProfileRegistry;
 
 fn main() {
@@ -16,7 +17,10 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>10}",
         "quant step", "bits/pixel", "ratio", "PSNR [dB]"
     );
-    for q in [1u16, 2, 4, 8, 16, 32] {
+    // The sweep points are independent: fan them over the worker pool
+    // and print the rows in order afterwards.
+    let steps = [1u16, 2, 4, 8, 16, 32];
+    let rows = parallel_map(&steps, experiments::env_workers(), |_, &q| {
         let cfg = if q == 1 {
             CodecConfig::lossless()
         } else {
@@ -25,12 +29,14 @@ fn main() {
         let encoded = Encoder::new(cfg).encode(&img).expect("encode succeeds");
         let decoded = Decoder::new(cfg).decode(&encoded).expect("decode succeeds");
         let bpp = encoded.bit_len() as f64 / (edge * edge) as f64;
-        let psnr = decoded.psnr(&img);
+        (q, bpp, encoded.compression_ratio(), decoded.psnr(&img))
+    });
+    for (q, bpp, ratio, psnr) in rows {
         println!(
             "{:<12} {:>12.2} {:>12.2} {:>10}",
             q,
             bpp,
-            encoded.compression_ratio(),
+            ratio,
             if psnr.is_infinite() {
                 "lossless".to_owned()
             } else {

@@ -5,6 +5,10 @@ use memx_bench::experiments;
 
 fn main() {
     let ctx = experiments::context();
+    eprintln!(
+        "[engine: {} worker(s); results are worker-count independent]",
+        ctx.engine().workers()
+    );
     let extras = match experiments::extended_extras(&ctx) {
         Ok(extras) => extras,
         Err(e) => {

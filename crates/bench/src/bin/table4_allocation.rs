@@ -5,6 +5,10 @@ use memx_bench::experiments;
 
 fn main() {
     let ctx = experiments::context();
+    eprintln!(
+        "[engine: {} worker(s); results are worker-count independent]",
+        ctx.engine().workers()
+    );
     let counts = experiments::paper_allocations();
     match experiments::table4(&ctx, &counts) {
         Ok(rows) => {

@@ -20,6 +20,7 @@
 
 use memx_btpc::spec::{btpc_app_spec, measure_profile, BtpcSpec};
 use memx_core::alloc::AllocOptions;
+use memx_core::engine::{DesignPoint, Engine};
 use memx_core::explore::{CostReport, EvaluateOptions, Exploration};
 use memx_core::hierarchy::{apply_hierarchy, HierarchyLayer};
 use memx_core::structuring::{compact, merge};
@@ -56,6 +57,19 @@ pub fn smoke_mode() -> bool {
         || std::env::args().any(|a| a == "--smoke")
 }
 
+/// Worker-count override for the reproduction *binaries*: the
+/// `MEMX_WORKERS` environment variable (`0` or unset = one worker per
+/// core, `1` = fully serial). Exploration results are bit-identical for
+/// every setting — the knob only trades wall-clock, which is what
+/// `scripts/bench_baseline.sh` measures. Library entry points never
+/// read it; [`paper_context`] always resolves to "one per core".
+pub fn env_workers() -> usize {
+    std::env::var("MEMX_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Everything the experiments share: the profiled spec, the technology
 /// library, and the allocation search options every table uses.
 #[derive(Debug)]
@@ -67,6 +81,9 @@ pub struct PaperContext {
     /// Allocation options for every evaluation run on this context
     /// (reduced search budget when built by [`context`] in smoke mode).
     pub alloc: AllocOptions,
+    /// Engine worker-pool size (`0` = one per core). Results are
+    /// bit-identical for every value; only wall-clock changes.
+    pub workers: usize,
 }
 
 impl PaperContext {
@@ -77,6 +94,11 @@ impl PaperContext {
             cycle_budget: None,
             alloc: self.alloc.clone(),
         }
+    }
+
+    /// The exploration engine every table fans its design points over.
+    pub fn engine(&self) -> Engine<'_> {
+        Engine::with_workers(&self.lib, self.workers)
     }
 }
 
@@ -97,14 +119,26 @@ pub fn paper_context() -> PaperContext {
 /// [`smoke_mode`] is on. Only binaries should call this — library users,
 /// tests and benches use the env-independent [`paper_context`].
 pub fn context() -> PaperContext {
+    let workers = env_workers();
     if smoke_mode() {
         let alloc = AllocOptions {
             node_limit: SMOKE_NODE_LIMIT,
+            workers,
             ..AllocOptions::default()
         };
-        context_with(SMOKE_PROFILE_FRAME, alloc)
+        PaperContext {
+            workers,
+            ..context_with(SMOKE_PROFILE_FRAME, alloc)
+        }
     } else {
-        paper_context()
+        let alloc = AllocOptions {
+            workers,
+            ..AllocOptions::default()
+        };
+        PaperContext {
+            workers,
+            ..context_with(PROFILE_FRAME, alloc)
+        }
     }
 }
 
@@ -116,6 +150,7 @@ fn context_with(frame: usize, alloc: AllocOptions) -> PaperContext {
         btpc,
         lib: MemLibrary::default_07um(),
         alloc,
+        workers: 0,
     }
 }
 
@@ -125,14 +160,15 @@ fn context_with(frame: usize, alloc: AllocOptions) -> PaperContext {
 ///
 /// Propagates pipeline errors (none occur with the default context).
 pub fn table1(ctx: &PaperContext) -> Result<Exploration<'_>, ExploreError> {
-    let mut exp = Exploration::new(&ctx.lib);
     let options = ctx.options();
-    exp.add("No structuring", &ctx.btpc.spec, &options)?;
     let compacted = compact(&ctx.btpc.spec, ctx.btpc.ridge, 3)?;
-    exp.add("ridge compacted", &compacted.spec, &options)?;
     let merged = merge(&ctx.btpc.spec, ctx.btpc.pyr, ctx.btpc.ridge)?;
-    exp.add("ridge and pyr merged", &merged.spec, &options)?;
-    Ok(exp)
+    let points = vec![
+        DesignPoint::new("No structuring", &ctx.btpc.spec, options.clone()),
+        DesignPoint::new("ridge compacted", &compacted.spec, options.clone()),
+        DesignPoint::new("ridge and pyr merged", &merged.spec, options),
+    ];
+    ctx.engine().explore(&points)
 }
 
 /// The Table-1 winner: `ridge` merged into `pyr`. Returns the spec and
@@ -169,15 +205,16 @@ pub fn table2(ctx: &PaperContext) -> Result<Exploration<'_>, ExploreError> {
     let (spec, pixel_store) = merged_spec(ctx)?;
     let (ylocal, yhier_serving, yhier_feeding) = figure3_layers();
     let options = ctx.options();
-    let mut exp = Exploration::new(&ctx.lib);
-    exp.add("No hierarchy", &spec, &options)?;
     let l1 = apply_hierarchy(&spec, pixel_store, std::slice::from_ref(&yhier_serving))?;
-    exp.add("Only layer 1 (yhier)", &l1.spec, &options)?;
     let l0 = apply_hierarchy(&spec, pixel_store, std::slice::from_ref(&ylocal))?;
-    exp.add("Only layer 0 (ylocal)", &l0.spec, &options)?;
     let both = apply_hierarchy(&spec, pixel_store, &[ylocal, yhier_feeding])?;
-    exp.add("2 layers (both)", &both.spec, &options)?;
-    Ok(exp)
+    let points = vec![
+        DesignPoint::new("No hierarchy", &spec, options.clone()),
+        DesignPoint::new("Only layer 1 (yhier)", &l1.spec, options.clone()),
+        DesignPoint::new("Only layer 0 (ylocal)", &l0.spec, options.clone()),
+        DesignPoint::new("2 layers (both)", &both.spec, options),
+    ];
+    ctx.engine().explore(&points)
 }
 
 /// The Table-2 winner: layer 0 (`ylocal`) only.
@@ -212,13 +249,22 @@ pub struct BudgetRow {
 /// [`ExploreError::BudgetTooTight`].
 pub fn table3(ctx: &PaperContext, extras: &[u64]) -> Result<Vec<BudgetRow>, ExploreError> {
     let spec = best_hierarchy_spec(ctx)?;
+    let points: Vec<DesignPoint> = extras
+        .iter()
+        .map(|&extra| {
+            DesignPoint::new(
+                format!("{extra} extra cycles"),
+                &spec,
+                EvaluateOptions {
+                    cycle_budget: Some(CYCLE_BUDGET - extra),
+                    alloc: ctx.alloc.clone(),
+                },
+            )
+        })
+        .collect();
     let mut rows = Vec::new();
-    for &extra in extras {
-        let options = EvaluateOptions {
-            cycle_budget: Some(CYCLE_BUDGET - extra),
-            alloc: ctx.alloc.clone(),
-        };
-        match memx_core::explore::evaluate(&spec, &ctx.lib, &options) {
+    for (result, &extra) in ctx.engine().evaluate_many(&points).into_iter().zip(extras) {
+        match result {
             Ok(report) => rows.push(BudgetRow {
                 extra_cycles: extra,
                 extra_fraction: extra as f64 / CYCLE_BUDGET as f64,
@@ -311,19 +357,29 @@ pub struct AllocationRow {
 pub fn table4(ctx: &PaperContext, counts: &[u32]) -> Result<Vec<AllocationRow>, ExploreError> {
     let spec = best_hierarchy_spec(ctx)?;
     let budget = CYCLE_BUDGET - 3_133_568; // the paper's 15.7 % working point
+                                           // Every point shares (spec, budget): the engine schedules once and
+                                           // fans only the allocation searches over the workers.
+    let points: Vec<DesignPoint> = counts
+        .iter()
+        .map(|&k| {
+            DesignPoint::new(
+                format!("{k} on-chip memories"),
+                &spec,
+                EvaluateOptions {
+                    cycle_budget: Some(budget),
+                    alloc: AllocOptions {
+                        on_chip_memories: Some(k),
+                        ..ctx.alloc.clone()
+                    },
+                },
+            )
+        })
+        .collect();
     let mut rows = Vec::new();
-    for &k in counts {
-        let options = EvaluateOptions {
-            cycle_budget: Some(budget),
-            alloc: AllocOptions {
-                on_chip_memories: Some(k),
-                ..ctx.alloc.clone()
-            },
-        };
-        let report = memx_core::explore::evaluate(&spec, &ctx.lib, &options)?;
+    for (result, &k) in ctx.engine().evaluate_many(&points).into_iter().zip(counts) {
         rows.push(AllocationRow {
             memories: k,
-            report,
+            report: result?,
         });
     }
     Ok(rows)

@@ -16,14 +16,45 @@
 //! The on-chip assignment is exact branch-and-bound with canonical
 //! partition enumeration and a greedy incumbent; the off-chip side (few
 //! groups) is enumerated exhaustively.
+//!
+//! # Parallel search
+//!
+//! The branch-and-bound fans out over worker threads
+//! ([`AllocOptions::workers`]): the canonical partition tree is split
+//! into a fixed number of prefix subtrees, workers claim subtrees from a
+//! shared queue, and the best incumbent value is published through an
+//! atomic (`f64` bits in an `AtomicU64`) so whole subtrees whose lower
+//! bound cannot beat it are skipped. Three properties make parallel and
+//! serial runs return **bit-identical** organizations:
+//!
+//! 1. each subtree is explored against its own deterministic node
+//!    budget and a bound derived only from the (deterministic) greedy
+//!    incumbent and a deterministically-chosen *seed subtree* explored
+//!    up front — never from timing-dependent cross-thread state;
+//! 2. the shared atomic bound is used *only* to skip entire subtrees
+//!    whose lower bound strictly exceeds it — a subtree containing a
+//!    best-so-far solution can never be skipped, so skipping only
+//!    removes subtrees that lose the reduction anyway;
+//! 3. subtree results are reduced in canonical depth-first order with
+//!    strict improvement, reproducing the serial first-found-minimum
+//!    tie-break.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
 
 use memx_ir::{AppSpec, BasicGroupId, Placement};
 use memx_memlib::{timing, CostBreakdown, MemLibrary, OffChipSelection, OnChipSpec};
 
 use crate::scbd::ScbdResult;
 use crate::ExploreError;
+
+/// How many canonical-prefix subtrees the branch-and-bound splits into.
+/// Deliberately a constant (not a function of the worker count) so the
+/// per-subtree node budgets — and therefore the search result — do not
+/// depend on the machine the search runs on.
+const TARGET_SUBTREES: usize = 512;
 
 /// Options steering allocation and assignment.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,8 +69,12 @@ pub struct AllocOptions {
     /// Largest port count the on-chip module generator offers.
     pub max_on_chip_ports: u32,
     /// Branch-and-bound node budget before falling back to the best
-    /// incumbent found so far.
+    /// incumbent found so far (split evenly over the search subtrees).
     pub node_limit: u64,
+    /// Worker threads for the on-chip branch-and-bound: `0` spawns one
+    /// per available core, `1` searches on the calling thread. Parallel
+    /// and serial runs return bit-identical organizations.
+    pub workers: usize,
 }
 
 impl Default for AllocOptions {
@@ -50,6 +85,7 @@ impl Default for AllocOptions {
             power_weight: 1.0,
             max_on_chip_ports: 4,
             node_limit: 2_000_000,
+            workers: 0,
         }
     }
 }
@@ -117,6 +153,24 @@ impl Organization {
     }
 }
 
+/// Validates scalarization weights: comparing scalar costs built from
+/// non-finite or negative weights is meaningless (and NaN used to panic
+/// deep inside comparison callbacks).
+pub(crate) fn check_cost_weights(area_weight: f64, power_weight: f64) -> Result<(), ExploreError> {
+    if area_weight.is_finite()
+        && power_weight.is_finite()
+        && area_weight >= 0.0
+        && power_weight >= 0.0
+    {
+        Ok(())
+    } else {
+        Err(ExploreError::BadCostWeights {
+            area_weight,
+            power_weight,
+        })
+    }
+}
+
 /// Weighted random/burst access traffic of one group.
 #[derive(Debug, Clone, Copy, Default)]
 struct Traffic {
@@ -153,10 +207,15 @@ fn group_traffic(spec: &AppSpec) -> Vec<Traffic> {
 
 /// Per-slot access-count table for fast port-requirement queries over
 /// group subsets (bitmask-indexed, memoized).
+///
+/// Cloning is cheap: the slot table is shared behind an [`Arc`] and each
+/// clone keeps its own memoization cache, so every branch-and-bound
+/// worker thread can query ports without synchronization.
+#[derive(Clone)]
 struct PortOracle {
     /// Each entry: (group index, simultaneous accesses) per busy cycle.
-    slots: Vec<Vec<(usize, u32)>>,
-    min_ports: Vec<u32>,
+    slots: Arc<Vec<Vec<(usize, u32)>>>,
+    min_ports: Arc<Vec<u32>>,
     cache: HashMap<u64, u32>,
 }
 
@@ -164,14 +223,14 @@ impl PortOracle {
     fn new(spec: &AppSpec, scbd: &ScbdResult) -> Self {
         let mut slots = Vec::new();
         for body in &scbd.bodies {
-            for slot in &body.occupancy {
-                if slot.len() < 2 {
+            for slot in body.busy_slots() {
+                if slot.occupants.len() < 2 {
                     // A single occupant can never force multiple ports
                     // by overlap (group minimums are handled separately).
                     continue;
                 }
                 let mut counts: HashMap<usize, u32> = HashMap::new();
-                for o in slot {
+                for o in &slot.occupants {
                     *counts.entry(o.group.index()).or_insert(0) += 1;
                 }
                 let mut entry: Vec<(usize, u32)> = counts.into_iter().collect();
@@ -182,8 +241,8 @@ impl PortOracle {
         slots.sort();
         slots.dedup();
         PortOracle {
-            slots,
-            min_ports: spec.basic_groups().iter().map(|g| g.min_ports()).collect(),
+            slots: Arc::new(slots),
+            min_ports: Arc::new(spec.basic_groups().iter().map(|g| g.min_ports()).collect()),
             cache: HashMap::new(),
         }
     }
@@ -194,12 +253,14 @@ impl PortOracle {
             return p;
         }
         let mut ports = 1u32;
-        for (i, &mp) in self.min_ports.iter().enumerate() {
+        // Only the first 64 groups can appear in a mask (assign rejects
+        // accessed groups beyond that); `take` keeps the shift in range.
+        for (i, &mp) in self.min_ports.iter().enumerate().take(u64::BITS as usize) {
             if mask & (1 << i) != 0 {
                 ports = ports.max(mp);
             }
         }
-        for slot in &self.slots {
+        for slot in self.slots.iter() {
             let overlap: u32 = slot
                 .iter()
                 .filter(|(g, _)| mask & (1 << *g) != 0)
@@ -221,14 +282,16 @@ impl PortOracle {
 ///
 /// Returns [`ExploreError::NoFeasibleAssignment`] when the bandwidth
 /// constraints cannot be met (e.g. off-chip overlap needing more than
-/// two ports), and [`ExploreError::Part`] if no off-chip part covers a
-/// group.
+/// two ports), [`ExploreError::BadCostWeights`] for non-finite or
+/// negative scalarization weights, and [`ExploreError::Part`] if no
+/// off-chip part covers a group.
 pub fn assign(
     spec: &AppSpec,
     scbd: &ScbdResult,
     lib: &MemLibrary,
     options: &AllocOptions,
 ) -> Result<Organization, ExploreError> {
+    check_cost_weights(options.area_weight, options.power_weight)?;
     let traffic = group_traffic(spec);
     let time_s = spec.real_time_seconds();
     let mut oracle = PortOracle::new(spec, scbd);
@@ -252,6 +315,22 @@ pub fn assign(
             reason: format!(
                 "{} on-chip groups exceed the 60-group assignment limit",
                 on_groups.len()
+            ),
+        });
+    }
+    // The partition searches index groups by bit position in a u64 mask,
+    // so any *accessed* group must sit below index 64 (unaccessed
+    // foreground groups beyond that are fine — they never enter a mask).
+    if let Some(g) = off_groups
+        .iter()
+        .chain(&on_groups)
+        .find(|g| g.index() >= u64::BITS as usize)
+    {
+        return Err(ExploreError::NoFeasibleAssignment {
+            reason: format!(
+                "accessed group `{}` has index {}, beyond the 64-group mask limit",
+                spec.group(*g).name(),
+                g.index()
             ),
         });
     }
@@ -424,8 +503,204 @@ fn on_chip_memory(
     }
 }
 
+/// Shared, read-only context of one on-chip branch-and-bound run.
+struct SearchCtx<'a> {
+    spec: &'a AppSpec,
+    traffic: &'a [Traffic],
+    lib: &'a MemLibrary,
+    order: &'a [BasicGroupId],
+    suffix_lb: &'a [f64],
+    k: usize,
+    time_s: f64,
+    options: &'a AllocOptions,
+}
+
+impl SearchCtx<'_> {
+    /// Scalar cost of one memory holding `members`, or `None` when its
+    /// port requirement exceeds the module generator's limit.
+    fn memory_scalar(&self, oracle: &mut PortOracle, members: &[BasicGroupId]) -> Option<f64> {
+        let mask: u64 = members.iter().map(|g| 1u64 << g.index()).sum();
+        let ports = oracle.required(mask);
+        if ports > self.options.max_on_chip_ports {
+            return None;
+        }
+        let mem = on_chip_memory(
+            self.spec,
+            self.traffic,
+            self.lib,
+            members,
+            ports,
+            self.time_s,
+        );
+        Some(
+            mem.cost
+                .scalar(self.options.area_weight, self.options.power_weight),
+        )
+    }
+}
+
+/// A partial canonical assignment of the first `depth` groups.
+#[derive(Clone)]
+struct Prefix {
+    bins: Vec<Vec<BasicGroupId>>,
+    bin_scalars: Vec<f64>,
+    acc: f64,
+    depth: usize,
+}
+
+/// Depth-first exploration of one subtree with a private node budget
+/// and a bound seeded from the greedy incumbent only (see module docs).
+struct Dfs<'a> {
+    ctx: &'a SearchCtx<'a>,
+    best_scalar: f64,
+    best: Option<Vec<Vec<BasicGroupId>>>,
+    nodes: u64,
+    node_limit: u64,
+}
+
+impl Dfs<'_> {
+    fn recurse(
+        &mut self,
+        oracle: &mut PortOracle,
+        i: usize,
+        bins: &mut Vec<Vec<BasicGroupId>>,
+        bin_scalars: &mut Vec<f64>,
+        acc: f64,
+    ) {
+        self.nodes += 1;
+        if self.nodes > self.node_limit {
+            return;
+        }
+        let remaining = self.ctx.order.len() - i;
+        if bins.len() + remaining < self.ctx.k {
+            return; // cannot open enough memories any more
+        }
+        if acc + self.ctx.suffix_lb[i] >= self.best_scalar {
+            return;
+        }
+        if i == self.ctx.order.len() {
+            if bins.len() == self.ctx.k {
+                self.best_scalar = acc;
+                self.best = Some(bins.clone());
+            }
+            return;
+        }
+        let g = self.ctx.order[i];
+        // Try existing memories.
+        for b in 0..bins.len() {
+            bins[b].push(g);
+            if let Some(new_scalar) = self.ctx.memory_scalar(oracle, &bins[b]) {
+                let old = bin_scalars[b];
+                let acc2 = acc - old + new_scalar;
+                bin_scalars[b] = new_scalar;
+                self.recurse(oracle, i + 1, bins, bin_scalars, acc2);
+                bin_scalars[b] = old;
+            }
+            bins[b].pop();
+        }
+        // Open a new memory (canonical: only one way).
+        if bins.len() < self.ctx.k {
+            bins.push(vec![g]);
+            if let Some(scalar) = self.ctx.memory_scalar(oracle, &bins[bins.len() - 1]) {
+                bin_scalars.push(scalar);
+                self.recurse(oracle, i + 1, bins, bin_scalars, acc + scalar);
+                bin_scalars.pop();
+            }
+            bins.pop();
+        }
+    }
+}
+
+/// Expands the canonical partition tree breadth-first (children in
+/// depth-first candidate order, so the resulting prefix sequence is the
+/// serial DFS visiting order) until at least [`TARGET_SUBTREES`]
+/// prefixes exist or every group is assigned.
+fn expand_prefixes(ctx: &SearchCtx<'_>, oracle: &mut PortOracle, greedy_bound: f64) -> Vec<Prefix> {
+    let n = ctx.order.len();
+    let mut level = vec![Prefix {
+        bins: Vec::new(),
+        bin_scalars: Vec::new(),
+        acc: 0.0,
+        depth: 0,
+    }];
+    while level.len() < TARGET_SUBTREES && level.iter().any(|p| p.depth < n) {
+        let mut next: Vec<Prefix> = Vec::with_capacity(level.len() * 2);
+        for p in &level {
+            if p.depth == n {
+                next.push(p.clone());
+                continue;
+            }
+            let g = ctx.order[p.depth];
+            let remaining_after = n - p.depth - 1;
+            let mut push_child = |bins: Vec<Vec<BasicGroupId>>, bin_scalars: Vec<f64>, acc: f64| {
+                if bins.len() + remaining_after < ctx.k {
+                    return; // cannot open enough memories any more
+                }
+                if acc + ctx.suffix_lb[p.depth + 1] >= greedy_bound {
+                    return; // cannot strictly beat the greedy incumbent
+                }
+                next.push(Prefix {
+                    bins,
+                    bin_scalars,
+                    acc,
+                    depth: p.depth + 1,
+                });
+            };
+            // Children in DFS candidate order: existing bins, then a
+            // fresh bin.
+            for b in 0..p.bins.len() {
+                let mut bins = p.bins.clone();
+                bins[b].push(g);
+                if let Some(scalar) = ctx.memory_scalar(oracle, &bins[b]) {
+                    let mut bin_scalars = p.bin_scalars.clone();
+                    let acc = p.acc - bin_scalars[b] + scalar;
+                    bin_scalars[b] = scalar;
+                    push_child(bins, bin_scalars, acc);
+                }
+            }
+            if p.bins.len() < ctx.k {
+                let mut bins = p.bins.clone();
+                bins.push(vec![g]);
+                if let Some(scalar) = ctx.memory_scalar(oracle, bins.last().expect("just pushed")) {
+                    let mut bin_scalars = p.bin_scalars.clone();
+                    bin_scalars.push(scalar);
+                    push_child(bins, bin_scalars, p.acc + scalar);
+                }
+            }
+        }
+        if next.is_empty() {
+            return next; // every branch infeasible or bounded out
+        }
+        level = next;
+    }
+    level
+}
+
+/// Outcome of one explored subtree: the best strict improvement over
+/// the greedy incumbent found inside it, if any.
+struct SubtreeResult {
+    val: f64,
+    bins: Option<Vec<Vec<BasicGroupId>>>,
+}
+
+/// Lock-free monotone minimum over non-negative `f64`s (bit order and
+/// value order coincide for non-negative IEEE-754 doubles, but compare
+/// as floats anyway for clarity).
+fn fetch_min_f64(atomic: &AtomicU64, val: f64) {
+    let mut cur = atomic.load(Ordering::Relaxed);
+    while val < f64::from_bits(cur) {
+        match atomic.compare_exchange_weak(cur, val.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => break,
+            Err(c) => cur = c,
+        }
+    }
+}
+
 /// Branch-and-bound assignment of `groups` into exactly `k` on-chip
-/// memories. Returns `None` when infeasible under the port limit.
+/// memories, fanned out over [`AllocOptions::workers`] threads. Returns
+/// `None` when infeasible under the port limit. Deterministic: the
+/// result is bit-identical for every worker count (see module docs).
 #[allow(clippy::too_many_arguments)]
 fn assign_on_chip(
     spec: &AppSpec,
@@ -446,8 +721,7 @@ fn assign_on_chip(
     order.sort_by(|a, b| {
         traffic[b.index()]
             .total()
-            .partial_cmp(&traffic[a.index()].total())
-            .expect("traffic is finite")
+            .total_cmp(&traffic[a.index()].total())
             .then(a.cmp(b))
     });
 
@@ -472,94 +746,7 @@ fn assign_on_chip(
         s
     };
 
-    struct Search<'a> {
-        spec: &'a AppSpec,
-        traffic: &'a [Traffic],
-        lib: &'a MemLibrary,
-        order: &'a [BasicGroupId],
-        suffix_lb: &'a [f64],
-        k: usize,
-        time_s: f64,
-        options: &'a AllocOptions,
-        best_scalar: f64,
-        best: Option<Vec<Vec<BasicGroupId>>>,
-        nodes: u64,
-    }
-
-    impl Search<'_> {
-        fn memory_scalar(&self, oracle: &mut PortOracle, members: &[BasicGroupId]) -> Option<f64> {
-            let mask: u64 = members.iter().map(|g| 1u64 << g.index()).sum();
-            let ports = oracle.required(mask);
-            if ports > self.options.max_on_chip_ports {
-                return None;
-            }
-            let mem = on_chip_memory(
-                self.spec,
-                self.traffic,
-                self.lib,
-                members,
-                ports,
-                self.time_s,
-            );
-            Some(
-                mem.cost
-                    .scalar(self.options.area_weight, self.options.power_weight),
-            )
-        }
-
-        fn recurse(
-            &mut self,
-            oracle: &mut PortOracle,
-            i: usize,
-            bins: &mut Vec<Vec<BasicGroupId>>,
-            bin_scalars: &mut Vec<f64>,
-            acc: f64,
-        ) {
-            self.nodes += 1;
-            if self.nodes > self.options.node_limit {
-                return;
-            }
-            let remaining = self.order.len() - i;
-            if bins.len() + remaining < self.k {
-                return; // cannot open enough memories any more
-            }
-            if acc + self.suffix_lb[i] >= self.best_scalar {
-                return;
-            }
-            if i == self.order.len() {
-                if bins.len() == self.k {
-                    self.best_scalar = acc;
-                    self.best = Some(bins.clone());
-                }
-                return;
-            }
-            let g = self.order[i];
-            // Try existing memories.
-            for b in 0..bins.len() {
-                bins[b].push(g);
-                if let Some(new_scalar) = self.memory_scalar(oracle, &bins[b]) {
-                    let old = bin_scalars[b];
-                    let acc2 = acc - old + new_scalar;
-                    bin_scalars[b] = new_scalar;
-                    self.recurse(oracle, i + 1, bins, bin_scalars, acc2);
-                    bin_scalars[b] = old;
-                }
-                bins[b].pop();
-            }
-            // Open a new memory (canonical: only one way).
-            if bins.len() < self.k {
-                bins.push(vec![g]);
-                if let Some(scalar) = self.memory_scalar(oracle, &bins[bins.len() - 1]) {
-                    bin_scalars.push(scalar);
-                    self.recurse(oracle, i + 1, bins, bin_scalars, acc + scalar);
-                    bin_scalars.pop();
-                }
-                bins.pop();
-            }
-        }
-    }
-
-    let mut search = Search {
+    let ctx = SearchCtx {
         spec,
         traffic,
         lib,
@@ -568,23 +755,20 @@ fn assign_on_chip(
         k,
         time_s,
         options,
-        best_scalar: f64::INFINITY,
-        best: None,
-        nodes: 0,
     };
 
     // Greedy incumbent: the first k groups open their own memories, the
     // rest join wherever the scalar cost grows least. Seeds the bound so
     // the node limit degrades to "greedy + partial improvement" instead
     // of "no answer".
-    {
+    let greedy: Option<(f64, Vec<Vec<BasicGroupId>>)> = {
         let mut bins: Vec<Vec<BasicGroupId>> = Vec::new();
         let mut bin_scalars: Vec<f64> = Vec::new();
         let mut feasible = true;
         for (i, &g) in order.iter().enumerate() {
             if i < k {
                 bins.push(vec![g]);
-                match search.memory_scalar(oracle, &bins[i]) {
+                match ctx.memory_scalar(oracle, &bins[i]) {
                     Some(s) => bin_scalars.push(s),
                     None => {
                         feasible = false;
@@ -596,7 +780,7 @@ fn assign_on_chip(
             let mut choice: Option<(usize, f64)> = None;
             for b in 0..bins.len() {
                 bins[b].push(g);
-                if let Some(s) = search.memory_scalar(oracle, &bins[b]) {
+                if let Some(s) = ctx.memory_scalar(oracle, &bins[b]) {
                     let delta = s - bin_scalars[b];
                     if choice.map(|(_, d)| delta < d).unwrap_or(true) {
                         choice = Some((b, delta));
@@ -607,7 +791,7 @@ fn assign_on_chip(
             match choice {
                 Some((b, _)) => {
                     bins[b].push(g);
-                    bin_scalars[b] = search
+                    bin_scalars[b] = ctx
                         .memory_scalar(oracle, &bins[b])
                         .expect("feasibility just checked");
                 }
@@ -617,16 +801,190 @@ fn assign_on_chip(
                 }
             }
         }
-        if feasible && bins.len() == k {
-            search.best_scalar = bin_scalars.iter().sum();
-            search.best = Some(bins);
+        (feasible && bins.len() == k).then(|| (bin_scalars.iter().sum(), bins))
+    };
+    let greedy_val = greedy.as_ref().map(|(v, _)| *v).unwrap_or(f64::INFINITY);
+
+    // Split the canonical tree into deterministic subtrees.
+    let prefixes = expand_prefixes(&ctx, oracle, greedy_val);
+
+    // Explore one subtree with a private node budget against a fixed
+    // bound. The outcome is a pure function of (prefix, bound_val,
+    // budget), so determinism only requires those to be chosen
+    // deterministically. Returns the result and the nodes consumed.
+    let explore_one = |oracle: &mut PortOracle,
+                       p: &Prefix,
+                       bound_val: f64,
+                       budget: u64|
+     -> (SubtreeResult, u64) {
+        if p.depth == ctx.order.len() {
+            // The whole tree fit into the prefix expansion: the
+            // prefix *is* a complete assignment.
+            if p.bins.len() == k && p.acc < bound_val {
+                return (
+                    SubtreeResult {
+                        val: p.acc,
+                        bins: Some(p.bins.clone()),
+                    },
+                    1,
+                );
+            }
+            return (
+                SubtreeResult {
+                    val: f64::INFINITY,
+                    bins: None,
+                },
+                1,
+            );
+        }
+        let mut dfs = Dfs {
+            ctx: &ctx,
+            best_scalar: bound_val,
+            best: None,
+            nodes: 0,
+            node_limit: budget,
+        };
+        let mut bins = p.bins.clone();
+        let mut bin_scalars = p.bin_scalars.clone();
+        dfs.recurse(oracle, p.depth, &mut bins, &mut bin_scalars, p.acc);
+        (
+            SubtreeResult {
+                val: if dfs.best.is_some() {
+                    dfs.best_scalar
+                } else {
+                    f64::INFINITY
+                },
+                bins: dfs.best,
+            },
+            dfs.nodes,
+        )
+    };
+
+    // Seed phase: the subtree with the smallest lower bound (earliest on
+    // ties) is explored first, alone, with the *full* node budget — it is
+    // the most likely home of the optimum. Its result tightens the bound
+    // every other subtree starts from — deterministically, since the
+    // choice of seed and its search depend on nothing timing-related.
+    // This recovers most of the pruning power a serial DFS gets from its
+    // evolving incumbent.
+    let lower_bound = |p: &Prefix| p.acc + ctx.suffix_lb[p.depth];
+    let seed_idx = prefixes
+        .iter()
+        .enumerate()
+        .min_by(|(i, a), (j, b)| lower_bound(a).total_cmp(&lower_bound(b)).then(i.cmp(j)))
+        .map(|(i, _)| i);
+    let (seed_res, seed_nodes) = match seed_idx {
+        Some(i) => {
+            let (r, n) = explore_one(oracle, &prefixes[i], greedy_val, options.node_limit);
+            (Some(r), n)
+        }
+        None => (None, 0),
+    };
+    let seed_val = match &seed_res {
+        Some(r) if r.bins.is_some() => r.val,
+        _ => greedy_val,
+    };
+
+    // The seed's consumption is charged against the global node limit;
+    // only the remainder is split over the other subtrees. When the
+    // search is exact the seed finishes cheaply and the others keep a
+    // full share; when the limit is exhausted the others degrade to
+    // zero-budget probes instead of doubling the total node spend. The
+    // split is a pure function of the (deterministic) seed search, so
+    // results stay independent of worker count and thread timing.
+    let node_budget = options.node_limit.saturating_sub(seed_nodes) / prefixes.len().max(1) as u64;
+
+    // Fan the remaining subtrees over the workers. The published atomic
+    // bound only ever *skips* whole subtrees (never steers a running
+    // search): a subtree that could win the deterministic reduction has
+    // a lower bound at most the final minimum and is therefore never
+    // skipped, so the result is independent of thread timing.
+    let bound = AtomicU64::new(seed_val.to_bits());
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<SubtreeResult>>> =
+        (0..prefixes.len()).map(|_| Mutex::new(None)).collect();
+    // Claim subtrees most-promising-first (a fixed permutation) so the
+    // published bound tightens as early as possible.
+    let claim_order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..prefixes.len()).collect();
+        idx.sort_by(|&a, &b| {
+            lower_bound(&prefixes[a])
+                .total_cmp(&lower_bound(&prefixes[b]))
+                .then(a.cmp(&b))
+        });
+        idx
+    };
+    let explore = |worker_oracle: &mut PortOracle| loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= claim_order.len() {
+            break;
+        }
+        let j = claim_order[c];
+        if Some(j) == seed_idx {
+            continue; // already explored in the seed phase
+        }
+        let p = &prefixes[j];
+        let res = if lower_bound(p) > f64::from_bits(bound.load(Ordering::Relaxed)) {
+            // Strictly above the best published incumbent: nothing in
+            // this subtree can win the reduction. (Strict comparison: a
+            // subtree holding a solution equal to the final minimum is
+            // never skipped, so determinism is preserved.)
+            SubtreeResult {
+                val: f64::INFINITY,
+                bins: None,
+            }
+        } else {
+            explore_one(worker_oracle, p, seed_val, node_budget).0
+        };
+        if res.bins.is_some() {
+            fetch_min_f64(&bound, res.val);
+        }
+        *results[j].lock().expect("no poisoned subtree slot") = Some(res);
+    };
+
+    let workers = match options.workers {
+        0 => crate::engine::auto_workers(),
+        n => n,
+    }
+    .min(prefixes.len().max(1));
+    if workers <= 1 {
+        explore(oracle);
+    } else {
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let mut worker_oracle = oracle.clone();
+                scope.spawn(move || explore(&mut worker_oracle));
+            }
+        });
+    }
+
+    // Deterministic reduction: greedy incumbent, then the seed subtree,
+    // then the remaining subtrees in canonical depth-first order, each
+    // winning only on strict improvement — the serial first-found-
+    // minimum tie-break.
+    let mut best_val = greedy_val;
+    let mut best_bins = greedy.map(|(_, b)| b);
+    if let Some(r) = &seed_res {
+        if let Some(b) = &r.bins {
+            if r.val < best_val {
+                best_val = r.val;
+                best_bins = Some(b.clone());
+            }
+        }
+    }
+    for slot in &results {
+        let res = slot.lock().expect("no poisoned subtree slot");
+        if let Some(r) = res.as_ref() {
+            if r.val < best_val {
+                if let Some(b) = &r.bins {
+                    best_val = r.val;
+                    best_bins = Some(b.clone());
+                }
+            }
         }
     }
 
-    let mut bins = Vec::new();
-    let mut bin_scalars = Vec::new();
-    search.recurse(oracle, 0, &mut bins, &mut bin_scalars, 0.0);
-    let bins = search.best?;
+    let bins = best_bins?;
     Some(
         bins.iter()
             .map(|members| {
@@ -829,5 +1187,119 @@ mod tests {
         let org = assign(&spec, &s, &lib(), &AllocOptions::default()).unwrap();
         let assigned: usize = org.memories.iter().map(|m| m.groups.len()).sum();
         assert_eq!(assigned, 1);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let spec = mixed_spec(2_000_000);
+        let s = scbd::distribute(&spec).unwrap();
+        for on_chip_memories in [None, Some(1), Some(2), Some(3)] {
+            let serial = assign(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    on_chip_memories,
+                    workers: 1,
+                    ..AllocOptions::default()
+                },
+            )
+            .unwrap();
+            for workers in [2, 4, 7] {
+                let parallel = assign(
+                    &spec,
+                    &s,
+                    &lib(),
+                    &AllocOptions {
+                        on_chip_memories,
+                        workers,
+                        ..AllocOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(serial, parallel, "k={on_chip_memories:?} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_limit_exhaustion_returns_deterministic_incumbent() {
+        let spec = mixed_spec(2_000_000);
+        let s = scbd::distribute(&spec).unwrap();
+        // A node limit this small exhausts every subtree immediately:
+        // the search must still return the greedy incumbent (never an
+        // error) and do so identically across runs and worker counts.
+        let run = |workers: usize| {
+            assign(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    node_limit: 1,
+                    workers,
+                    ..AllocOptions::default()
+                },
+            )
+            .expect("incumbent, not an error")
+        };
+        let serial_a = run(1);
+        let serial_b = run(1);
+        assert_eq!(serial_a, serial_b, "serial runs must be reproducible");
+        for workers in [2, 4] {
+            assert_eq!(serial_a, run(workers), "workers={workers}");
+        }
+        // The exhausted search still yields a complete organization.
+        assert!(serial_a.on_chip_count() >= 1);
+    }
+
+    #[test]
+    fn accessed_groups_beyond_mask_limit_are_rejected_not_ub() {
+        // 70 groups, only the last two accessed: their indices (68, 69)
+        // cannot be bitmask positions in a u64. This must surface as a
+        // clean error, not a shift overflow / aliased-mask organization.
+        let mut b = AppSpecBuilder::new("t");
+        for i in 0..68 {
+            b.basic_group(format!("fg{i}"), 16, 8).unwrap();
+        }
+        let hi_a = b.basic_group("hi_a", 64, 8).unwrap();
+        let hi_b = b.basic_group("hi_b", 64, 8).unwrap();
+        let n = b.loop_nest("l", 100).unwrap();
+        b.access(n, hi_a, AccessKind::Read).unwrap();
+        b.access(n, hi_b, AccessKind::Read).unwrap();
+        b.cycle_budget(10_000);
+        let spec = b.build().unwrap();
+        let s = scbd::distribute(&spec).unwrap();
+        let err = assign(&spec, &s, &lib(), &AllocOptions::default()).unwrap_err();
+        assert!(matches!(err, ExploreError::NoFeasibleAssignment { .. }));
+        assert!(err.to_string().contains("mask limit"), "{err}");
+    }
+
+    #[test]
+    fn nan_weights_are_rejected_not_panicking() {
+        let spec = mixed_spec(2_000_000);
+        let s = scbd::distribute(&spec).unwrap();
+        for (aw, pw) in [
+            (f64::NAN, 1.0),
+            (1.0, f64::NAN),
+            (f64::INFINITY, 1.0),
+            (-1.0, 1.0),
+            (1.0, -0.5),
+        ] {
+            let err = assign(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    area_weight: aw,
+                    power_weight: pw,
+                    ..AllocOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, ExploreError::BadCostWeights { .. }),
+                "weights ({aw}, {pw})"
+            );
+        }
     }
 }

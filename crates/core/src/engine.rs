@@ -1,0 +1,377 @@
+//! The batched, parallel exploration engine.
+//!
+//! Every table of the paper is a *batch* of design-point evaluations:
+//! budget sweeps (Table 3), allocation sweeps (Table 4), structuring and
+//! hierarchy variants (Tables 1–2). The feedback loop only turns as
+//! fast as the slowest batch, so the [`Engine`] fans a set of
+//! [`DesignPoint`]s across a worker pool and folds the reports back in
+//! input order — results are **bit-identical** to evaluating the points
+//! one by one (the allocation search itself is deterministic for every
+//! worker count, see [`crate::alloc`]).
+//!
+//! The engine also memoizes storage-cycle-budget distribution across the
+//! batch: design points whose `(spec content hash, cycle budget)` match
+//! share one [`ScbdResult`] instead of re-balancing the flow graphs per
+//! point — a Table-4 sweep schedules once, not once per allocation.
+//!
+//! # Example
+//!
+//! ```
+//! use memx_core::engine::{DesignPoint, Engine};
+//! use memx_core::explore::EvaluateOptions;
+//! use memx_ir::{AccessKind, AppSpecBuilder};
+//! use memx_memlib::MemLibrary;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = AppSpecBuilder::new("fir");
+//! let taps = b.basic_group("taps", 64, 12)?;
+//! let nest = b.loop_nest("mac", 100_000)?;
+//! b.access(nest, taps, AccessKind::Read)?;
+//! b.cycle_budget(400_000).real_time_seconds(1e-2);
+//! let spec = b.build()?;
+//!
+//! let lib = MemLibrary::default_07um();
+//! let engine = Engine::new(&lib);
+//! let points: Vec<DesignPoint> = [300_000u64, 350_000, 400_000]
+//!     .iter()
+//!     .map(|&budget| {
+//!         DesignPoint::new(
+//!             format!("budget {budget}"),
+//!             &spec,
+//!             EvaluateOptions {
+//!                 cycle_budget: Some(budget),
+//!                 ..EvaluateOptions::default()
+//!             },
+//!         )
+//!     })
+//!     .collect();
+//! let exploration = engine.explore(&points)?;
+//! assert_eq!(exploration.reports().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use memx_ir::AppSpec;
+use memx_memlib::MemLibrary;
+
+use crate::explore::{evaluate_scheduled, CostReport, EvaluateOptions, Exploration};
+use crate::scbd::{self, ScbdResult};
+use crate::ExploreError;
+
+/// Worker count for "one per available core" requests.
+pub fn auto_workers() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One labeled variant to evaluate: a specification plus the evaluation
+/// knobs (budget override, allocation options).
+#[derive(Debug, Clone)]
+pub struct DesignPoint<'a> {
+    /// Label the resulting report carries (row name in tables).
+    pub label: String,
+    /// The variant specification.
+    pub spec: &'a AppSpec,
+    /// Evaluation options for this point.
+    pub options: EvaluateOptions,
+}
+
+impl<'a> DesignPoint<'a> {
+    /// Creates a design point.
+    pub fn new(label: impl Into<String>, spec: &'a AppSpec, options: EvaluateOptions) -> Self {
+        DesignPoint {
+            label: label.into(),
+            spec,
+            options,
+        }
+    }
+}
+
+/// The batched evaluation engine: a technology library plus a worker
+/// pool size (see module docs).
+#[derive(Debug)]
+pub struct Engine<'l> {
+    lib: &'l MemLibrary,
+    workers: usize,
+}
+
+impl<'l> Engine<'l> {
+    /// Engine over `lib` with one worker per available core.
+    pub fn new(lib: &'l MemLibrary) -> Self {
+        Self::with_workers(lib, 0)
+    }
+
+    /// Engine over `lib` with an explicit worker count (`0` = one per
+    /// available core, `1` = evaluate on the calling thread).
+    pub fn with_workers(lib: &'l MemLibrary, workers: usize) -> Self {
+        Engine {
+            lib,
+            workers: match workers {
+                0 => auto_workers(),
+                n => n,
+            },
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates every design point, fanning the batch across the worker
+    /// pool, and returns the per-point results in input order.
+    ///
+    /// Points sharing a `(spec, budget)` pair reuse one memoized
+    /// schedule: the unique schedules are distributed up front (in
+    /// parallel), so a Table-4 sweep really schedules once rather than
+    /// racing one computation per worker. Results are bit-identical to
+    /// calling [`crate::explore::evaluate`] per point, for any worker
+    /// count.
+    pub fn evaluate_many(&self, points: &[DesignPoint]) -> Vec<Result<CostReport, ExploreError>> {
+        // Phase 1: one SCBD distribution per unique (spec content,
+        // budget) key, fanned over the full pool.
+        let mut key_of_point: Vec<(u64, u64)> = Vec::with_capacity(points.len());
+        let mut unique: Vec<(&DesignPoint, u64)> = Vec::new();
+        let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
+        for point in points {
+            let budget = point
+                .options
+                .cycle_budget
+                .unwrap_or_else(|| point.spec.cycle_budget());
+            let key = (point.spec.content_hash(), budget);
+            key_of_point.push(key);
+            seen.entry(key).or_insert_with(|| {
+                unique.push((point, budget));
+                unique.len() - 1
+            });
+        }
+        let schedules = parallel_map(&unique, self.workers, |_, &(point, budget)| {
+            scbd::distribute_with_budget(point.spec, budget)
+        });
+        let cache: HashMap<(u64, u64), Result<ScbdResult, ExploreError>> = seen
+            .into_iter()
+            .map(|(key, idx)| (key, schedules[idx].clone()))
+            .collect();
+
+        // Phase 2: fan the evaluations. Points whose allocation search is
+        // on auto (`workers == 0`) get the pool split between the two
+        // levels, so a batch does not oversubscribe cores²-style.
+        let point_workers = self.workers.min(points.len().max(1));
+        let alloc_workers = (self.workers / point_workers).max(1);
+        parallel_map(points, point_workers, |i, point| {
+            let schedule = cache
+                .get(&key_of_point[i])
+                .expect("every key pre-scheduled")
+                .clone()?;
+            let mut options = point.options.clone();
+            if options.alloc.workers == 0 {
+                options.alloc.workers = alloc_workers;
+            }
+            let mut report = evaluate_scheduled(point.spec, self.lib, schedule, &options)?;
+            report.label = point.label.clone();
+            Ok(report)
+        })
+    }
+
+    /// Evaluates every design point and folds the reports into an
+    /// [`Exploration`] in input order — the batched equivalent of
+    /// repeated [`Exploration::add`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input order) failing point's error; the
+    /// exploration is not partially populated in that case.
+    pub fn explore(&self, points: &[DesignPoint]) -> Result<Exploration<'l>, ExploreError> {
+        let mut exploration = Exploration::new(self.lib);
+        for result in self.evaluate_many(points) {
+            exploration.push(result?);
+        }
+        Ok(exploration)
+    }
+}
+
+/// Order-preserving parallel map over a slice: applies `f(index, item)`
+/// on up to `workers` threads (`0` = one per available core) and
+/// returns the results in input order.
+///
+/// The scheduling is dynamic (an atomic claim counter), but since every
+/// result lands in its input slot the output is independent of timing.
+/// With one resolved worker or fewer than two items the map runs inline
+/// on the calling thread.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = match workers {
+        0 => auto_workers(),
+        w => w,
+    }
+    .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot lock not poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot lock not poisoned")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocOptions;
+    use crate::explore::evaluate;
+    use memx_ir::{AccessKind, AppSpecBuilder};
+
+    fn spec(name: &str) -> AppSpec {
+        let mut b = AppSpecBuilder::new(name);
+        let x = b.basic_group("x", 1024, 8).unwrap();
+        let y = b.basic_group("y", 512, 16).unwrap();
+        let n = b.loop_nest("l", 10_000).unwrap();
+        let rx = b.access(n, x, AccessKind::Read).unwrap();
+        let wy = b.access(n, y, AccessKind::Write).unwrap();
+        b.depend(n, rx, wy).unwrap();
+        b.cycle_budget(100_000).real_time_seconds(0.01);
+        b.build().unwrap()
+    }
+
+    fn budget_points(spec: &AppSpec) -> Vec<DesignPoint<'_>> {
+        [100_000u64, 50_000, 20_000, 10]
+            .iter()
+            .map(|&budget| {
+                DesignPoint::new(
+                    format!("budget {budget}"),
+                    spec,
+                    EvaluateOptions {
+                        cycle_budget: Some(budget),
+                        ..EvaluateOptions::default()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn evaluate_many_matches_individual_evaluation() {
+        let lib = MemLibrary::default_07um();
+        let spec = spec("t");
+        let points = budget_points(&spec);
+        for workers in [1, 4] {
+            let engine = Engine::with_workers(&lib, workers);
+            let batch = engine.evaluate_many(&points);
+            assert_eq!(batch.len(), points.len());
+            for (result, point) in batch.iter().zip(&points) {
+                let solo = evaluate(&spec, &lib, &point.options);
+                match (result, solo) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.label, point.label);
+                        assert_eq!(a.cost, b.cost);
+                        assert_eq!(a.organization, b.organization);
+                        assert_eq!(a.macp_cycles, b.macp_cycles);
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, &b),
+                    (a, b) => panic!("batch {a:?} vs solo {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_sweep_shares_one_schedule() {
+        // Same spec and budget, different allocation counts: the
+        // memoized schedule must not change any result.
+        let lib = MemLibrary::default_07um();
+        let spec = spec("t");
+        let points: Vec<DesignPoint> = [1u32, 2]
+            .iter()
+            .map(|&k| {
+                DesignPoint::new(
+                    format!("k={k}"),
+                    &spec,
+                    EvaluateOptions {
+                        cycle_budget: None,
+                        alloc: AllocOptions {
+                            on_chip_memories: Some(k),
+                            ..AllocOptions::default()
+                        },
+                    },
+                )
+            })
+            .collect();
+        let engine = Engine::with_workers(&lib, 2);
+        for (result, point) in engine.evaluate_many(&points).iter().zip(&points) {
+            let solo = evaluate(&spec, &lib, &point.options).unwrap();
+            let batch = result.as_ref().unwrap();
+            assert_eq!(batch.cost, solo.cost);
+            assert_eq!(batch.organization, solo.organization);
+        }
+    }
+
+    #[test]
+    fn explore_folds_in_input_order_or_fails_fast() {
+        let lib = MemLibrary::default_07um();
+        let spec = spec("t");
+        let good: Vec<DesignPoint> = budget_points(&spec).into_iter().take(3).collect();
+        let engine = Engine::with_workers(&lib, 3);
+        let exploration = engine.explore(&good).unwrap();
+        let labels: Vec<&str> = exploration
+            .reports()
+            .iter()
+            .map(|r| r.label.as_str())
+            .collect();
+        assert_eq!(labels, ["budget 100000", "budget 50000", "budget 20000"]);
+        // An infeasible point fails the fold with its error.
+        let bad = budget_points(&spec);
+        assert!(matches!(
+            engine.explore(&bad),
+            Err(ExploreError::BudgetTooTight { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let expected: Vec<usize> = items.iter().map(|i| i * i).collect();
+        for workers in [0, 1, 3, 8, 64] {
+            let got = parallel_map(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn engine_resolves_auto_workers() {
+        let lib = MemLibrary::default_07um();
+        assert!(Engine::new(&lib).workers() >= 1);
+        assert_eq!(Engine::with_workers(&lib, 5).workers(), 5);
+    }
+}

@@ -33,6 +33,15 @@ pub enum ExploreError {
         /// Explanation of the infeasibility.
         reason: String,
     },
+    /// Cost weights handed to a ranking or assignment API were not
+    /// finite non-negative numbers; comparing scalarized costs built
+    /// from them would be meaningless (and used to panic).
+    BadCostWeights {
+        /// The offending area weight.
+        area_weight: f64,
+        /// The offending power weight.
+        power_weight: f64,
+    },
     /// Re-building a transformed specification failed.
     Spec(BuildSpecError),
     /// Off-chip part selection failed.
@@ -54,6 +63,14 @@ impl fmt::Display for ExploreError {
             ExploreError::NoFeasibleAssignment { reason } => {
                 write!(f, "no feasible signal-to-memory assignment: {reason}")
             }
+            ExploreError::BadCostWeights {
+                area_weight,
+                power_weight,
+            } => write!(
+                f,
+                "cost weights must be finite and non-negative: \
+                 area {area_weight}, power {power_weight}"
+            ),
             ExploreError::Spec(e) => write!(f, "specification error: {e}"),
             ExploreError::Part(e) => write!(f, "part selection error: {e}"),
         }

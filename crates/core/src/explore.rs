@@ -13,7 +13,7 @@ use std::fmt;
 use memx_ir::AppSpec;
 use memx_memlib::{CostBreakdown, MemLibrary};
 
-use crate::alloc::{assign, AllocOptions, Organization};
+use crate::alloc::{assign, check_cost_weights, AllocOptions, Organization};
 use crate::macp;
 use crate::scbd::{self, ScbdResult};
 use crate::ExploreError;
@@ -61,6 +61,26 @@ pub fn evaluate(
 ) -> Result<CostReport, ExploreError> {
     let budget = options.cycle_budget.unwrap_or_else(|| spec.cycle_budget());
     let schedule = scbd::distribute_with_budget(spec, budget)?;
+    evaluate_scheduled(spec, lib, schedule, options)
+}
+
+/// Runs allocation/assignment on an already-distributed schedule.
+///
+/// This is [`evaluate`] with the storage-cycle-budget stage factored
+/// out, so callers that evaluate many variants of one spec at the same
+/// budget (e.g. a Table-4 allocation sweep, or the engine's memoized
+/// batch evaluation — see [`crate::engine`]) can share one schedule
+/// instead of redistributing it per variant.
+///
+/// # Errors
+///
+/// Propagates [`ExploreError`]s from allocation/assignment.
+pub fn evaluate_scheduled(
+    spec: &AppSpec,
+    lib: &MemLibrary,
+    schedule: ScbdResult,
+    options: &EvaluateOptions,
+) -> Result<CostReport, ExploreError> {
     let organization = assign(spec, &schedule, lib, &options.alloc)?;
     let report = macp::analyze(spec);
     Ok(CostReport {
@@ -107,19 +127,38 @@ impl<'a> Exploration<'a> {
         Ok(self.reports.last().expect("just pushed"))
     }
 
+    /// Records an already-evaluated report (the fold target of the
+    /// engine's batched evaluation, see [`crate::engine::Engine`]).
+    pub fn push(&mut self, report: CostReport) {
+        self.reports.push(report);
+    }
+
     /// All recorded reports, in insertion order.
     pub fn reports(&self) -> &[CostReport] {
         &self.reports
     }
 
-    /// The report with the lowest scalarized cost.
-    pub fn best(&self, area_weight: f64, power_weight: f64) -> Option<&CostReport> {
-        self.reports.iter().min_by(|a, b| {
+    /// The report with the lowest scalarized cost, or `Ok(None)` when no
+    /// report has been recorded.
+    ///
+    /// Comparison uses [`f64::total_cmp`], so even degenerate (NaN)
+    /// scalarized costs rank deterministically instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::BadCostWeights`] for NaN, infinite or
+    /// negative weights.
+    pub fn best(
+        &self,
+        area_weight: f64,
+        power_weight: f64,
+    ) -> Result<Option<&CostReport>, ExploreError> {
+        check_cost_weights(area_weight, power_weight)?;
+        Ok(self.reports.iter().min_by(|a, b| {
             a.cost
                 .scalar(area_weight, power_weight)
-                .partial_cmp(&b.cost.scalar(area_weight, power_weight))
-                .expect("costs are finite")
-        })
+                .total_cmp(&b.cost.scalar(area_weight, power_weight))
+        }))
     }
 
     /// The Pareto-optimal reports: variants not dominated on all three
@@ -159,13 +198,25 @@ impl<'a> Exploration<'a> {
 /// with identical cost, which the designer may still prefer for other
 /// reasons (layout, bus structure — the paper's §4.6 closing remark).
 pub fn pareto_front(reports: &[CostReport]) -> Vec<&CostReport> {
-    reports
-        .iter()
-        .filter(|candidate| {
-            !reports.iter().any(|other| {
-                !std::ptr::eq(*candidate, other)
-                    && other.cost.dominates(&candidate.cost)
-                    && !candidate.cost.dominates(&other.cost)
+    let costs: Vec<CostBreakdown> = reports.iter().map(|r| r.cost).collect();
+    pareto_indices(&costs)
+        .into_iter()
+        .map(|i| &reports[i])
+        .collect()
+}
+
+/// Indices of the Pareto-optimal cost points, in input order.
+///
+/// A point is kept unless some *other* point dominates it strictly
+/// (better-or-equal on every axis and the candidate does not dominate
+/// back). Duplicate cost points therefore all survive — the §4.6
+/// semantics [`pareto_front`] documents — and the kept *set* is
+/// invariant under permutation of the input.
+pub fn pareto_indices(costs: &[CostBreakdown]) -> Vec<usize> {
+    (0..costs.len())
+        .filter(|&i| {
+            !costs.iter().enumerate().any(|(j, other)| {
+                j != i && other.dominates(&costs[i]) && !costs[i].dominates(other)
             })
             // (kept explicit: "strictly better on some axis" semantics)
         })
@@ -230,7 +281,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(exp.reports().len(), 2);
-        assert!(exp.best(1.0, 1.0).is_some());
+        assert!(exp.best(1.0, 1.0).expect("weights valid").is_some());
         let table = exp.to_table("Table X");
         assert!(table.contains("Table X"));
         assert!(table.contains("base"));
@@ -264,6 +315,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn best_rejects_bad_weights_without_panicking() {
+        let lib = MemLibrary::default_07um();
+        let mut exp = Exploration::new(&lib);
+        exp.add("base", &spec(), &EvaluateOptions::default())
+            .unwrap();
+        // The regression this guards: NaN weights used to panic inside
+        // the comparison ("costs are finite").
+        for (aw, pw) in [
+            (f64::NAN, 1.0),
+            (1.0, f64::NAN),
+            (f64::NEG_INFINITY, 1.0),
+            (-2.0, 1.0),
+            (1.0, -0.1),
+        ] {
+            let err = exp.best(aw, pw).unwrap_err();
+            assert!(
+                matches!(err, ExploreError::BadCostWeights { .. }),
+                "weights ({aw}, {pw})"
+            );
+        }
+        // An empty exploration with valid weights is None, not an error.
+        let empty = Exploration::new(&lib);
+        assert!(empty.best(1.0, 1.0).unwrap().is_none());
+    }
+
+    #[test]
+    fn pareto_indices_keep_duplicates_and_drop_dominated() {
+        let costs = vec![
+            CostBreakdown::new(1.0, 1.0, 1.0),
+            CostBreakdown::new(1.0, 1.0, 1.0), // duplicate: kept too
+            CostBreakdown::new(2.0, 2.0, 2.0), // dominated: dropped
+            CostBreakdown::new(0.5, 3.0, 1.0), // trade-off: kept
+        ];
+        assert_eq!(pareto_indices(&costs), vec![0, 1, 3]);
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! Beyond the paper's manual flow, [`reuse`] implements the formalized
 //! data-reuse analysis its §4.4 cites as the systematic alternative:
 //! automatic derivation and evaluation of hierarchy-layer candidates.
+//! [`engine`] batches design-point evaluations across a worker pool
+//! (with memoized scheduling), so sweeps and variant comparisons run as
+//! fast as the hardware allows while returning bit-identical results to
+//! the serial path.
 //!
 //! # Example
 //!
@@ -48,6 +52,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod alloc;
+pub mod engine;
 mod error;
 pub mod explore;
 pub mod hierarchy;

@@ -36,7 +36,7 @@ pub fn spec_report(spec: &AppSpec) -> String {
             let (r, w) = spec.total_accesses(b.id());
             r + w
         };
-        tb.partial_cmp(&ta).expect("traffic is finite")
+        tb.total_cmp(&ta)
     });
     for g in groups {
         let (r, w) = spec.total_accesses(g.id());
@@ -78,7 +78,7 @@ pub fn schedule_report(schedule: &ScbdResult) -> String {
         schedule.slack()
     );
     for body in &schedule.bodies {
-        let busy = body.occupancy.iter().filter(|s| !s.is_empty()).count();
+        let busy = body.busy_cycles();
         let _ = writeln!(
             out,
             "  {:<16} budget {:>3} cycles ({} busy), x{:>9}, pressure {:.1}",

@@ -21,6 +21,22 @@
 //!   characteristic budget jumps ("a decrease of the budget of one loop
 //!   body, which is executed 300 000 times, reduces the overall budget
 //!   with 300 000 cycles").
+//!
+//! # Sparse occupancy
+//!
+//! Schedules are stored *sparsely*: per access a placed interval, plus
+//! the list of busy cycles with their occupants. Memory and time scale
+//! with the number of accesses and their durations, **not** with the
+//! cycle budget — budgets derived from real-time constraints easily
+//! reach 10⁸ cycles, where the former dense per-cycle table
+//! (`vec![Vec::new(); budget]`) would allocate gigabytes and the
+//! balancing scan over the `[ASAP, ALAP]` window would never terminate.
+//! The balancer only evaluates the *breakpoints* of the piecewise-linear
+//! overlap-cost function (interval endpoints shifted by the access
+//! duration), which provably contains the leftmost cost minimizer, so
+//! sparse and dense scheduling place every access identically.
+
+use std::collections::BTreeMap;
 
 use memx_ir::{AppSpec, BasicGroupId, LoopNest, LoopNestId, Placement};
 
@@ -62,6 +78,33 @@ pub struct Occupant {
     pub off_chip: bool,
 }
 
+/// One scheduled access: which cycles of the body it occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacedAccess {
+    /// The occupant (group and placement).
+    pub occupant: Occupant,
+    /// First occupied cycle.
+    pub start: u64,
+    /// Occupied cycle count (the access duration).
+    pub duration: u64,
+}
+
+impl PlacedAccess {
+    /// One past the last occupied cycle.
+    pub fn end(&self) -> u64 {
+        self.start + self.duration
+    }
+}
+
+/// The occupants of one *busy* cycle of a body schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancySlot {
+    /// The cycle within the body budget.
+    pub cycle: u64,
+    /// Accesses overlapping this cycle (at least one).
+    pub occupants: Vec<Occupant>,
+}
+
 /// The balanced schedule of one loop body.
 #[derive(Debug, Clone)]
 pub struct BodySchedule {
@@ -73,18 +116,65 @@ pub struct BodySchedule {
     pub iterations: u64,
     /// Cycles allotted to one body execution.
     pub budget: u64,
-    /// `occupancy[t]` lists the accesses overlapping cycle `t`.
-    pub occupancy: Vec<Vec<Occupant>>,
+    /// Placed interval of every access, in access order.
+    placements: Vec<PlacedAccess>,
+    /// Sparse occupancy: busy cycles (ascending) with their occupants.
+    slots: Vec<OccupancySlot>,
 }
 
 impl BodySchedule {
+    fn new(
+        nest: LoopNestId,
+        name: String,
+        iterations: u64,
+        budget: u64,
+        placements: Vec<PlacedAccess>,
+    ) -> Self {
+        let mut by_cycle: BTreeMap<u64, Vec<Occupant>> = BTreeMap::new();
+        for p in &placements {
+            for t in p.start..p.end() {
+                by_cycle.entry(t).or_default().push(p.occupant);
+            }
+        }
+        let slots = by_cycle
+            .into_iter()
+            .map(|(cycle, occupants)| OccupancySlot { cycle, occupants })
+            .collect();
+        BodySchedule {
+            nest,
+            name,
+            iterations,
+            budget,
+            placements,
+            slots,
+        }
+    }
+
+    /// The placed interval of every access, in flow-graph access order.
+    pub fn placements(&self) -> &[PlacedAccess] {
+        &self.placements
+    }
+
+    /// The busy cycles of the schedule (ascending), each with the
+    /// accesses overlapping it. Cycles without any access are not
+    /// stored — memory is proportional to the access count, not the
+    /// budget.
+    pub fn busy_slots(&self) -> &[OccupancySlot] {
+        &self.slots
+    }
+
+    /// Number of cycles in which at least one access is in flight.
+    pub fn busy_cycles(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Pressure cost of this schedule (see module docs), *per body
     /// execution*.
     pub fn pressure(&self) -> f64 {
         let mut cost = 0.0;
-        for slot in &self.occupancy {
-            for (i, a) in slot.iter().enumerate() {
-                for b in &slot[i + 1..] {
+        for slot in &self.slots {
+            for (i, a) in slot.occupants.iter().enumerate() {
+                for b in &slot.occupants[i + 1..] {
                     cost += pair_cost(a, b);
                 }
             }
@@ -117,8 +207,8 @@ impl ScbdResult {
     pub fn required_ports(&self, mut members: impl FnMut(BasicGroupId) -> bool) -> u32 {
         let mut max = 0;
         for body in &self.bodies {
-            for slot in &body.occupancy {
-                let n = slot.iter().filter(|o| members(o.group)).count();
+            for slot in body.busy_slots() {
+                let n = slot.occupants.iter().filter(|o| members(o.group)).count();
                 max = max.max(n);
             }
         }
@@ -133,8 +223,8 @@ impl ScbdResult {
     pub fn on_chip_overlap_weight(&self) -> f64 {
         let mut weight = 0.0;
         for body in &self.bodies {
-            for slot in &body.occupancy {
-                if slot.iter().filter(|o| !o.off_chip).count() >= 2 {
+            for slot in body.busy_slots() {
+                if slot.occupants.iter().filter(|o| !o.off_chip).count() >= 2 {
                     weight += body.iterations as f64;
                 }
             }
@@ -146,9 +236,9 @@ impl ScbdResult {
     /// cannot share a single-port memory).
     pub fn conflicts(&self, a: BasicGroupId, b: BasicGroupId) -> bool {
         for body in &self.bodies {
-            for slot in &body.occupancy {
-                let has_a = slot.iter().any(|o| o.group == a);
-                let has_b = slot.iter().any(|o| o.group == b);
+            for slot in body.busy_slots() {
+                let has_a = slot.occupants.iter().any(|o| o.group == a);
+                let has_b = slot.occupants.iter().any(|o| o.group == b);
                 if has_a && has_b {
                     return true;
                 }
@@ -194,6 +284,20 @@ pub fn schedule_body_asap(
     schedule_body_with(spec, nest, budget, false)
 }
 
+/// Overlap cost of starting `occupant` (duration `dur`) at cycle `s`
+/// against the accesses placed so far.
+fn placement_cost(placed: &[PlacedAccess], occupant: &Occupant, s: u64, dur: u64) -> f64 {
+    let mut cost = 0.0;
+    for p in placed {
+        let lo = s.max(p.start);
+        let hi = (s + dur).min(p.end());
+        if hi > lo {
+            cost += (hi - lo) as f64 * pair_cost(&p.occupant, occupant);
+        }
+    }
+    cost
+}
+
 fn schedule_body_with(
     spec: &AppSpec,
     nest: &LoopNest,
@@ -234,8 +338,9 @@ fn schedule_body_with(
     }
     let alap: Vec<u64> = (0..n).map(|i| budget - tail[i]).collect();
 
-    let mut occupancy: Vec<Vec<Occupant>> = vec![Vec::new(); budget as usize];
+    let mut placed: Vec<PlacedAccess> = Vec::with_capacity(n);
     let mut start = vec![0u64; n];
+    let mut placement_of = vec![usize::MAX; n]; // access index -> placed index
     for &i in &topo {
         let a = &nest.accesses()[i];
         let occupant = Occupant {
@@ -250,15 +355,37 @@ fn schedule_body_with(
         }
         debug_assert!(earliest <= alap[i], "window collapsed for access {i}");
         let mut best = earliest;
-        if balance {
-            let mut best_cost = f64::INFINITY;
-            for s in earliest..=alap[i] {
-                let mut cost = 0.0;
-                for t in s..s + dur[i] {
-                    for o in &occupancy[t as usize] {
-                        cost += pair_cost(o, &occupant);
+        if balance && !placed.is_empty() {
+            // The overlap cost is piecewise linear in the start cycle;
+            // its leftmost minimizer over [earliest, alap] is either a
+            // window endpoint or a breakpoint — an endpoint of a placed
+            // interval, possibly shifted left by this access's duration.
+            // Evaluating only those candidates (ascending, strict
+            // improvement, early exit on zero) picks exactly the cycle a
+            // full per-cycle scan would.
+            let mut cands: Vec<u64> = Vec::with_capacity(4 * placed.len() + 2);
+            cands.push(earliest);
+            cands.push(alap[i]);
+            for p in &placed {
+                for c in [
+                    Some(p.start),
+                    Some(p.end()),
+                    p.start.checked_sub(dur[i]),
+                    p.end().checked_sub(dur[i]),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    if c > earliest && c < alap[i] {
+                        cands.push(c);
                     }
                 }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            let mut best_cost = f64::INFINITY;
+            for &s in &cands {
+                let cost = placement_cost(&placed, &occupant, s, dur[i]);
                 if cost < best_cost {
                     best_cost = cost;
                     best = s;
@@ -269,17 +396,25 @@ fn schedule_body_with(
             }
         }
         start[i] = best;
-        for t in best..best + dur[i] {
-            occupancy[t as usize].push(occupant);
-        }
+        placement_of[i] = placed.len();
+        placed.push(PlacedAccess {
+            occupant,
+            start: best,
+            duration: dur[i],
+        });
     }
-    Ok(BodySchedule {
-        nest: nest.id(),
-        name: nest.name().to_owned(),
-        iterations: nest.iterations(),
+    // Report placements in access order, not topological order.
+    let mut placements = Vec::with_capacity(n);
+    for i in 0..n {
+        placements.push(placed[placement_of[i]]);
+    }
+    Ok(BodySchedule::new(
+        nest.id(),
+        nest.name().to_owned(),
+        nest.iterations(),
         budget,
-        occupancy,
-    })
+        placements,
+    ))
 }
 
 fn topo_order(nest: &LoopNest) -> Vec<usize> {
@@ -365,6 +500,10 @@ pub fn distribute_asap(spec: &AppSpec, budget: u64) -> Result<ScbdResult, Explor
 /// Like [`distribute`], but with an explicit global budget — the knob
 /// the designer turns in Table 3 ("the designer can opt for a lower
 /// storage cycle budget, to allow more cycles for the data processing").
+///
+/// Thanks to the sparse schedule representation this handles budgets of
+/// any magnitude (10⁸-cycle real-time budgets and beyond): cost is
+/// proportional to the number of accesses, not the budget.
 ///
 /// # Errors
 ///
@@ -568,14 +707,7 @@ mod tests {
         let result = distribute(&spec).unwrap();
         // A single random off-chip access occupies 4 cycles.
         assert_eq!(result.bodies[0].budget, 4);
-        assert_eq!(
-            result.bodies[0]
-                .occupancy
-                .iter()
-                .filter(|s| !s.is_empty())
-                .count(),
-            4
-        );
+        assert_eq!(result.bodies[0].busy_cycles(), 4);
     }
 
     #[test]
@@ -603,5 +735,47 @@ mod tests {
         let spec = b.build().unwrap();
         let result = distribute(&spec).unwrap();
         assert_eq!(result.bodies.len(), 1);
+    }
+
+    #[test]
+    fn hundred_million_cycle_budget_schedules_sparsely() {
+        // A production-scale budget derived from a real-time constraint.
+        // The dense per-cycle table would allocate 10^8 slot vectors;
+        // the sparse schedule stays proportional to the access count.
+        let spec = small_spec(100_000_000);
+        let result = distribute_with_budget(&spec, 100_000_000).unwrap();
+        let body = &result.bodies[0];
+        // 3 accesses of 1 cycle each: at most 3 busy cycles stored.
+        assert!(body.busy_cycles() <= 3);
+        assert_eq!(body.placements().len(), 3);
+        assert_eq!(body.pressure(), 0.0);
+        assert!(result.used_cycles <= 100_000_000);
+    }
+
+    #[test]
+    fn astronomical_body_budget_is_fine() {
+        // Near-u64::MAX budgets must neither overflow nor allocate.
+        let spec = small_spec(400);
+        let nest = &spec.loop_nests()[0];
+        let sched = schedule_body(&spec, nest, u64::MAX / 2).unwrap();
+        assert!(sched.busy_cycles() <= 3);
+        assert_eq!(sched.pressure(), 0.0);
+    }
+
+    #[test]
+    fn busy_slots_match_placements() {
+        let spec = small_spec(1000);
+        let result = distribute(&spec).unwrap();
+        for body in &result.bodies {
+            let occupant_cycles: usize = body.busy_slots().iter().map(|s| s.occupants.len()).sum();
+            let durations: u64 = body.placements().iter().map(|p| p.duration).sum();
+            assert_eq!(occupant_cycles as u64, durations);
+            for p in body.placements() {
+                assert!(p.end() <= body.budget);
+            }
+            for w in body.busy_slots().windows(2) {
+                assert!(w[0].cycle < w[1].cycle, "slots must be ascending");
+            }
+        }
     }
 }

@@ -2,9 +2,10 @@
 //! assignment invariants over random specifications.
 
 use memx_core::alloc::{assign, AllocOptions, MemoryKind};
+use memx_core::explore::pareto_indices;
 use memx_core::{macp, scbd};
 use memx_ir::{AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, Placement};
-use memx_memlib::MemLibrary;
+use memx_memlib::{CostBreakdown, MemLibrary};
 use proptest::prelude::*;
 
 /// Random schedulable spec: a few groups (mixed placement), a few nests
@@ -68,6 +69,21 @@ fn arb_spec() -> impl Strategy<Value = AppSpec> {
         })
 }
 
+/// Cost points on a small integer grid, so duplicate and dominated
+/// points occur often.
+fn arb_costs() -> impl Strategy<Value = Vec<CostBreakdown>> {
+    prop::collection::vec((0u32..4, 0u32..4, 0u32..4), 1..12).prop_map(|points| {
+        points
+            .into_iter()
+            .map(|(a, p, o)| CostBreakdown::new(f64::from(a), f64::from(p), f64::from(o)))
+            .collect()
+    })
+}
+
+fn strictly_dominates(a: &CostBreakdown, b: &CostBreakdown) -> bool {
+    a.dominates(b) && !b.dominates(a)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -78,7 +94,7 @@ proptest! {
         for body in &result.bodies {
             let nest = spec.nest(body.nest);
             // Total occupancy equals the sum of access durations.
-            let occupancy: usize = body.occupancy.iter().map(Vec::len).sum();
+            let occupancy: usize = body.busy_slots().iter().map(|s| s.occupants.len()).sum();
             let durations: u64 = nest
                 .accesses()
                 .iter()
@@ -151,6 +167,94 @@ proptest! {
                 prop_assert_eq!(off_group, off_mem);
             }
         }
+    }
+
+    #[test]
+    fn parallel_assignment_is_bit_identical_to_serial(spec in arb_spec()) {
+        let lib = MemLibrary::default_07um();
+        let schedule = scbd::distribute(&spec).expect("schedulable");
+        let serial = assign(&spec, &schedule, &lib, &AllocOptions {
+            workers: 1,
+            ..AllocOptions::default()
+        }).expect("assignable");
+        for workers in [2usize, 5] {
+            let parallel = assign(&spec, &schedule, &lib, &AllocOptions {
+                workers,
+                ..AllocOptions::default()
+            }).expect("assignable");
+            prop_assert_eq!(&serial, &parallel, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn pareto_front_keeps_no_dominated_point(costs in arb_costs()) {
+        let front = pareto_indices(&costs);
+        prop_assert!(!front.is_empty(), "a non-empty set has a non-empty front");
+        for &i in &front {
+            for (j, other) in costs.iter().enumerate() {
+                if j != i {
+                    prop_assert!(
+                        !strictly_dominates(other, &costs[i]),
+                        "kept point {} is dominated by {}", i, j
+                    );
+                }
+            }
+        }
+        // Every dropped point is strictly dominated by someone.
+        for i in 0..costs.len() {
+            if !front.contains(&i) {
+                prop_assert!(
+                    costs.iter().enumerate().any(|(j, o)| j != i && strictly_dominates(o, &costs[i])),
+                    "point {} dropped without a dominator", i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_front_keeps_all_duplicates(costs in arb_costs()) {
+        // §4.6 semantics: identical-cost points are distinct design
+        // options and must survive (or fall) together.
+        let front = pareto_indices(&costs);
+        for i in 0..costs.len() {
+            for j in 0..costs.len() {
+                if costs[i] == costs[j] {
+                    prop_assert_eq!(
+                        front.contains(&i),
+                        front.contains(&j),
+                        "duplicates {} and {} split", i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_permutation_invariant(costs in arb_costs(), rot in 0usize..12) {
+        // Rotate + reverse: an arbitrary-ish permutation that needs no
+        // extra randomness.
+        let rot = rot % costs.len();
+        let mut permuted: Vec<CostBreakdown> = costs[rot..]
+            .iter()
+            .chain(&costs[..rot])
+            .copied()
+            .collect();
+        permuted.reverse();
+        let kept = |cs: &[CostBreakdown]| {
+            let mut v: Vec<(u64, u64, u64)> = pareto_indices(cs)
+                .into_iter()
+                .map(|i| {
+                    (
+                        cs[i].on_chip_area_mm2.to_bits(),
+                        cs[i].on_chip_power_mw.to_bits(),
+                        cs[i].off_chip_power_mw.to_bits(),
+                    )
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(kept(&costs), kept(&permuted));
     }
 
     #[test]

@@ -155,6 +155,56 @@ impl AppSpec {
         Ok(())
     }
 
+    /// Stable 64-bit content hash over every field that influences
+    /// scheduling, allocation and cost evaluation (FNV-1a).
+    ///
+    /// Two specifications with equal content hash produce identical
+    /// exploration results, so the hash serves as a memoization key —
+    /// the exploration engine uses `(content_hash, cycle_budget)` to
+    /// share one storage-cycle-budget distribution across design points
+    /// that differ only in allocation options (e.g. a Table-4 sweep).
+    /// The hash is *not* a cryptographic commitment; it is stable across
+    /// processes and releases only as long as the IR layout is.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(&self.name);
+        h.write_u64(self.groups.len() as u64);
+        for g in &self.groups {
+            h.write_str(&g.name);
+            h.write_u64(g.words);
+            h.write_u64(u64::from(g.bitwidth));
+            h.write_u64(match g.placement {
+                Placement::Any => 0,
+                Placement::OnChip => 1,
+                Placement::OffChip => 2,
+            });
+            h.write_u64(u64::from(g.min_ports));
+        }
+        h.write_u64(self.nests.len() as u64);
+        for n in &self.nests {
+            h.write_str(&n.name);
+            h.write_u64(n.iterations);
+            h.write_u64(n.accesses.len() as u64);
+            for a in &n.accesses {
+                h.write_u64(a.group.index() as u64);
+                h.write_u64(match a.kind {
+                    AccessKind::Read => 0,
+                    AccessKind::Write => 1,
+                });
+                h.write_u64(a.weight.to_bits());
+                h.write_u64(u64::from(a.burst));
+            }
+            h.write_u64(n.deps.len() as u64);
+            for e in &n.deps {
+                h.write_u64(e.from.index() as u64);
+                h.write_u64(e.to.index() as u64);
+            }
+        }
+        h.write_u64(self.cycle_budget);
+        h.write_u64(self.real_time_s.to_bits());
+        h.finish()
+    }
+
     /// Re-opens this specification for modification, preserving all ids.
     ///
     /// This is how the methodology's transforms derive variant specs: the
@@ -169,6 +219,40 @@ impl AppSpec {
             cycle_budget: Some(self.cycle_budget),
             real_time_s: self.real_time_s,
         }
+    }
+}
+
+/// Minimal FNV-1a hasher: dependency-free, stable across platforms and
+/// endianness (all inputs are fed as explicit little-endian words).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed so `("ab", "c")` and `("a", "bc")` differ.
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -662,6 +746,28 @@ mod tests {
         let spec = b.build().unwrap();
         assert_eq!(spec.total_accesses(g), (10.0, 5.0));
         assert_eq!(spec.total_access_count(), 15.0);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        let spec = tiny().build().unwrap();
+        let again = tiny().build().unwrap();
+        assert_eq!(spec.content_hash(), again.content_hash());
+        // Round-tripping through the builder preserves the hash.
+        assert_eq!(
+            spec.content_hash(),
+            spec.to_builder().build().unwrap().content_hash()
+        );
+        // Any semantic change moves the hash.
+        let mut b = tiny();
+        b.cycle_budget(101);
+        assert_ne!(spec.content_hash(), b.build().unwrap().content_hash());
+        let mut b = tiny();
+        b.real_time_seconds(0.5).cycle_budget(100);
+        assert_ne!(spec.content_hash(), b.build().unwrap().content_hash());
+        let mut b = tiny();
+        b.basic_group("extra", 8, 8).unwrap();
+        assert_ne!(spec.content_hash(), b.build().unwrap().content_hash());
     }
 
     #[test]

@@ -95,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         exp.to_table("Motion detection: hierarchy exploration (CIF @ 30 fps)")
     );
-    let best = exp.best(1.0, 1.0).expect("reports recorded");
+    let best = exp.best(1.0, 1.0)?.expect("reports recorded");
     println!("\nChosen: {}", best.label);
     println!(
         "Off-chip needs {} port(s); schedule slack {:.2} M cycles.",

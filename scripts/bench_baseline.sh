@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Times the exploration binaries and emits BENCH_explore.json so the
+# engine's perf trajectory is tracked run over run (CI uploads it as an
+# artifact). Honors MEMX_SMOKE=1 for CI-sized inputs.
+#
+# The table4 allocation sweep is timed twice — fully serial
+# (MEMX_WORKERS=1) and one worker per core (MEMX_WORKERS=0) — and the
+# wall-clock speedup is reported. The two runs print bit-identical
+# tables; only the wall-clock differs, and only on multi-core hosts.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_explore.json}"
+BINARIES=(table3_cycle_budget table4_allocation codec_rd_sweep)
+
+cargo build --release --package memx-bench --bins
+
+now_ns() { date +%s%N; }
+
+# run_secs BINARY [ENV=VAL...] -> wall-clock seconds on stdout
+run_secs() {
+    local bin=$1
+    shift
+    local start end
+    start=$(now_ns)
+    env "$@" "./target/release/$bin" >/dev/null 2>&1
+    end=$(now_ns)
+    awk -v s="$start" -v e="$end" 'BEGIN { printf "%.3f", (e - s) / 1e9 }'
+}
+
+cores=$(nproc 2>/dev/null || echo 1)
+smoke=false
+if [ -n "${MEMX_SMOKE:-}" ] && [ "${MEMX_SMOKE}" != "0" ]; then
+    smoke=true
+fi
+
+entries=""
+for bin in "${BINARIES[@]}"; do
+    secs=$(run_secs "$bin")
+    printf 'bench: %-28s %ss\n' "$bin" "$secs"
+    entries+=$(printf '    "%s": { "seconds": %s },' "$bin" "$secs")$'\n'
+done
+
+t4_serial=$(run_secs table4_allocation MEMX_WORKERS=1)
+t4_parallel=$(run_secs table4_allocation MEMX_WORKERS=0)
+speedup=$(awk -v s="$t4_serial" -v p="$t4_parallel" \
+    'BEGIN { if (p > 0) printf "%.2f", s / p; else printf "1.00" }')
+printf 'bench: table4 serial %ss / parallel %ss -> speedup %sx on %s core(s)\n' \
+    "$t4_serial" "$t4_parallel" "$speedup" "$cores"
+
+cat > "$OUT" << EOF
+{
+  "schema": "memexplore-bench-v1",
+  "generated_unix": $(date +%s),
+  "smoke": $smoke,
+  "cores": $cores,
+  "binaries": {
+${entries%,$'\n'}
+  },
+  "table4_speedup": {
+    "serial_seconds": $t4_serial,
+    "parallel_seconds": $t4_parallel,
+    "speedup": $speedup,
+    "workers": $cores
+  }
+}
+EOF
+echo "wrote $OUT"

@@ -16,7 +16,8 @@
 //! * [`core`] — the methodology: pruning, MACP analysis, basic-group
 //!   structuring, memory-hierarchy insertion, storage-cycle-budget
 //!   distribution, memory allocation and signal-to-memory assignment,
-//!   and the feedback driver;
+//!   the feedback driver, and the parallel batched exploration engine
+//!   ([`core::engine`]);
 //! * [`btpc`] — the demonstrator application, a complete Binary Tree
 //!   Predictive Coding image codec with instrumented arrays;
 //! * [`profile`] — the access-count instrumentation substrate.
