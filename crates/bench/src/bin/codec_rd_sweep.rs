@@ -9,6 +9,11 @@ use memx_core::engine::parallel_map;
 use memx_profile::ProfileRegistry;
 
 fn main() {
+    let workers = match experiments::env_workers() {
+        0 => memx_core::engine::auto_workers(),
+        n => n,
+    };
+    eprintln!("[codec sweep: {workers} worker(s); rows are worker-count independent]");
     let edge = if experiments::smoke_mode() { 64 } else { 256 };
     let img = Image::synthetic_natural(edge, edge, experiments::SEED);
 

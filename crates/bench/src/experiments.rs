@@ -70,6 +70,34 @@ pub fn env_workers() -> usize {
         .unwrap_or(0)
 }
 
+/// Branch-and-bound node-limit override for the reproduction
+/// *binaries* (`MEMX_NODE_LIMIT`). `scripts/bench_baseline.sh` raises
+/// it when comparing the two lower bounds: with an exhausted budget the
+/// per-subtree budgets just get reallocated and node counts measure
+/// nothing, so the pruning comparison must run the search to
+/// exactness. Library entry points never read it.
+pub fn env_node_limit() -> Option<u64> {
+    std::env::var("MEMX_NODE_LIMIT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// Branch-and-bound lower-bound override for the reproduction
+/// *binaries*: `MEMX_BOUND=solo` falls back to the original solo-1-port
+/// suffix bound, anything else (or unset) uses the pairwise-conflict
+/// bound. With an unexhausted node budget the results are identical
+/// either way (both bounds are admissible); only the nodes-visited
+/// counters differ — which is exactly what `scripts/bench_baseline.sh`
+/// records to keep the pruning gain measurable. Library entry points
+/// never read it; [`paper_context`] always uses the default (pairwise)
+/// bound.
+pub fn env_bound() -> memx_core::alloc::BoundKind {
+    match std::env::var("MEMX_BOUND").ok().as_deref() {
+        Some("solo") => memx_core::alloc::BoundKind::Solo,
+        _ => memx_core::alloc::BoundKind::Pairwise,
+    }
+}
+
 /// Everything the experiments share: the profiled spec, the technology
 /// library, and the allocation search options every table uses.
 #[derive(Debug)]
@@ -120,25 +148,25 @@ pub fn paper_context() -> PaperContext {
 /// tests and benches use the env-independent [`paper_context`].
 pub fn context() -> PaperContext {
     let workers = env_workers();
-    if smoke_mode() {
-        let alloc = AllocOptions {
-            node_limit: SMOKE_NODE_LIMIT,
-            workers,
-            ..AllocOptions::default()
-        };
-        PaperContext {
-            workers,
-            ..context_with(SMOKE_PROFILE_FRAME, alloc)
-        }
+    let smoke = smoke_mode();
+    let alloc = AllocOptions {
+        node_limit: env_node_limit().unwrap_or(if smoke {
+            SMOKE_NODE_LIMIT
+        } else {
+            AllocOptions::default().node_limit
+        }),
+        workers,
+        bound: env_bound(),
+        ..AllocOptions::default()
+    };
+    let frame = if smoke {
+        SMOKE_PROFILE_FRAME
     } else {
-        let alloc = AllocOptions {
-            workers,
-            ..AllocOptions::default()
-        };
-        PaperContext {
-            workers,
-            ..context_with(PROFILE_FRAME, alloc)
-        }
+        PROFILE_FRAME
+    };
+    PaperContext {
+        workers,
+        ..context_with(frame, alloc)
     }
 }
 

@@ -13,31 +13,71 @@
 //!   access (smaller arrays) but pays per-module overhead area — the
 //!   Table 4 trade-off.
 //!
-//! The on-chip assignment is exact branch-and-bound with canonical
-//! partition enumeration and a greedy incumbent; the off-chip side (few
-//! groups) is enumerated exhaustively.
+//! The solver has **three levels**, all exact and all parallel:
+//!
+//! 1. the *off-chip* side enumerates set partitions of the off-chip
+//!    groups, with every candidate memory (subset of groups) priced once
+//!    up front across the worker pool;
+//! 2. the *on-chip sweep* tries every allocation size `k = 1..n`
+//!    (unless [`AllocOptions::on_chip_memories`] pins one), fanning the
+//!    independent searches over the pool;
+//! 3. each size runs a *branch-and-bound* over canonical partitions of
+//!    the on-chip groups, itself split into deterministic subtrees that
+//!    workers claim from a shared queue.
+//!
+//! # Lower bounds
+//!
+//! Subtree skipping lives or dies by the suffix lower bound. Two are
+//! available ([`AllocOptions::bound`]):
+//!
+//! * [`BoundKind::Solo`] — each unassigned group contributes at least
+//!   the cell area and access energy of a private 1-port module (the
+//!   original, loose bound; kept as a measurable baseline);
+//! * [`BoundKind::Pairwise`] (default) — on top of the solo floor, each
+//!   group pays its minimum-port floor, and the pigeonhole principle
+//!   forces `remaining − free bins` of the unassigned groups to *join*
+//!   a non-empty memory: each such join costs at least the group's
+//!   cheapest precomputed **pairwise-conflict extra** (the width waste
+//!   and port/cycle-conflict penalty of co-assignment with its most
+//!   compatible partner). The bound is admissible — it never exceeds
+//!   the true optimal completion cost — so exact results are unchanged;
+//!   it only skips more of the tree (nodes visited are reported in
+//!   [`AllocStats`]).
 //!
 //! # Parallel search
 //!
-//! The branch-and-bound fans out over worker threads
-//! ([`AllocOptions::workers`]): the canonical partition tree is split
-//! into a fixed number of prefix subtrees, workers claim subtrees from a
-//! shared queue, and the best incumbent value is published through an
-//! atomic (`f64` bits in an `AtomicU64`) so whole subtrees whose lower
-//! bound cannot beat it are skipped. Three properties make parallel and
-//! serial runs return **bit-identical** organizations:
+//! All three levels fan out over worker threads
+//! ([`AllocOptions::workers`]) and all three return **bit-identical**
+//! results for every worker count:
 //!
-//! 1. each subtree is explored against its own deterministic node
-//!    budget and a bound derived only from the (deterministic) greedy
-//!    incumbent and a deterministically-chosen *seed subtree* explored
-//!    up front — never from timing-dependent cross-thread state;
-//! 2. the shared atomic bound is used *only* to skip entire subtrees
-//!    whose lower bound strictly exceeds it — a subtree containing a
-//!    best-so-far solution can never be skipped, so skipping only
-//!    removes subtrees that lose the reduction anyway;
-//! 3. subtree results are reduced in canonical depth-first order with
-//!    strict improvement, reproducing the serial first-found-minimum
-//!    tie-break.
+//! * the off-chip level prices candidate memories in parallel but picks
+//!   the winning partition in one deterministic canonical scan;
+//! * the on-chip sweep explores a deterministically-chosen *seed size*
+//!   first (the one with the smallest root lower bound), publishes its
+//!   cost through an atomic (`f64` bits in an `AtomicU64`), and uses it
+//!   *only* to skip whole sizes whose root bound already exceeds it — a
+//!   size that could win the canonical reduction is never skipped;
+//! * the branch-and-bound splits the canonical partition tree into a
+//!   fixed number of prefix subtrees, workers claim subtrees from a
+//!   shared queue, and the best incumbent value is published the same
+//!   way, again only ever skipping whole subtrees. Three properties
+//!   keep it deterministic:
+//!
+//!   1. each subtree is explored against its own deterministic node
+//!      budget and a bound derived only from the (deterministic) greedy
+//!      incumbent and a deterministically-chosen *seed subtree* explored
+//!      up front — never from timing-dependent cross-thread state;
+//!   2. the shared atomic bound is used *only* to skip entire subtrees
+//!      whose lower bound strictly exceeds it — a subtree containing a
+//!      best-so-far solution can never be skipped, so skipping only
+//!      removes subtrees that lose the reduction anyway;
+//!   3. subtree results are reduced in canonical depth-first order with
+//!      strict improvement, reproducing the serial first-found-minimum
+//!      tie-break.
+//!
+//! When the effective worker count is 1 every level runs inline on the
+//! calling thread — no worker threads are spawned at all (see
+//! [`crate::engine::thread_spawns_on_current_thread`]).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -47,6 +87,7 @@ use std::thread;
 use memx_ir::{AppSpec, BasicGroupId, Placement};
 use memx_memlib::{timing, CostBreakdown, MemLibrary, OffChipSelection, OnChipSpec};
 
+use crate::engine::parallel_map;
 use crate::scbd::ScbdResult;
 use crate::ExploreError;
 
@@ -55,6 +96,25 @@ use crate::ExploreError;
 /// per-subtree node budgets — and therefore the search result — do not
 /// depend on the machine the search runs on.
 const TARGET_SUBTREES: usize = 512;
+
+/// Largest off-chip group count the exhaustive set-partition enumeration
+/// accepts: partition counts grow as Bell numbers (Bell(12) ≈ 4.2 M),
+/// so beyond this the enumeration would be intractable.
+const MAX_OFF_CHIP_GROUPS: usize = 12;
+
+/// Which suffix lower bound the on-chip branch-and-bound prunes with
+/// (see the module docs). Both bounds are admissible, so the *result*
+/// is identical; only the number of nodes visited differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundKind {
+    /// The original per-group solo-1-port floor. Loose; kept so pruning
+    /// gains of the pairwise bound stay measurable.
+    Solo,
+    /// Solo floor + per-group minimum-port floor + pairwise-conflict
+    /// extras for the merges the pigeonhole principle forces.
+    #[default]
+    Pairwise,
+}
 
 /// Options steering allocation and assignment.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,10 +131,12 @@ pub struct AllocOptions {
     /// Branch-and-bound node budget before falling back to the best
     /// incumbent found so far (split evenly over the search subtrees).
     pub node_limit: u64,
-    /// Worker threads for the on-chip branch-and-bound: `0` spawns one
-    /// per available core, `1` searches on the calling thread. Parallel
-    /// and serial runs return bit-identical organizations.
+    /// Worker threads for the allocation solver: `0` spawns one per
+    /// available core, `1` runs everything on the calling thread.
+    /// Parallel and serial runs return bit-identical organizations.
     pub workers: usize,
+    /// Suffix lower bound used for branch-and-bound pruning.
+    pub bound: BoundKind,
 }
 
 impl Default for AllocOptions {
@@ -86,8 +148,29 @@ impl Default for AllocOptions {
             max_on_chip_ports: 4,
             node_limit: 2_000_000,
             workers: 0,
+            bound: BoundKind::Pairwise,
         }
     }
+}
+
+/// Search-effort counters of one [`assign_with_stats`] run, so pruning
+/// gains (e.g. of [`BoundKind::Pairwise`]) are measurable.
+///
+/// The counters are *not* part of the deterministic result: in parallel
+/// runs the atomic incumbent may skip different subtrees depending on
+/// thread timing, so node counts can vary run to run even though the
+/// returned [`Organization`] never does. With `workers: 1` the counters
+/// are fully deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Branch-and-bound nodes expanded across every on-chip search
+    /// (seed subtrees, fanned subtrees and complete-prefix probes).
+    pub bb_nodes: u64,
+    /// On-chip allocation sizes skipped outright because their root
+    /// lower bound exceeded the published sweep incumbent.
+    pub sweep_skips: u64,
+    /// Complete off-chip set partitions scanned.
+    pub off_chip_partitions: u64,
 }
 
 /// Where an allocated memory lives.
@@ -283,7 +366,9 @@ impl PortOracle {
 /// Returns [`ExploreError::NoFeasibleAssignment`] when the bandwidth
 /// constraints cannot be met (e.g. off-chip overlap needing more than
 /// two ports), [`ExploreError::BadCostWeights`] for non-finite or
-/// negative scalarization weights, and [`ExploreError::Part`] if no
+/// negative scalarization weights,
+/// [`ExploreError::TooManyOffChipGroups`] when the off-chip partition
+/// enumeration would be intractable, and [`ExploreError::Part`] if no
 /// off-chip part covers a group.
 pub fn assign(
     spec: &AppSpec,
@@ -291,11 +376,102 @@ pub fn assign(
     lib: &MemLibrary,
     options: &AllocOptions,
 ) -> Result<Organization, ExploreError> {
+    assign_with_stats(spec, scbd, lib, options).map(|(org, _)| org)
+}
+
+/// [`assign`], additionally reporting the search-effort counters of the
+/// run (see [`AllocStats`]).
+///
+/// # Errors
+///
+/// As for [`assign`].
+pub fn assign_with_stats(
+    spec: &AppSpec,
+    scbd: &ScbdResult,
+    lib: &MemLibrary,
+    options: &AllocOptions,
+) -> Result<(Organization, AllocStats), ExploreError> {
     check_cost_weights(options.area_weight, options.power_weight)?;
     let traffic = group_traffic(spec);
     let time_s = spec.real_time_seconds();
     let mut oracle = PortOracle::new(spec, scbd);
+    let mut stats = AllocStats::default();
 
+    let (off_groups, on_groups) = split_accessed_groups(spec, &traffic)?;
+    let workers = match options.workers {
+        0 => crate::engine::auto_workers(),
+        n => n,
+    };
+
+    // --- Off-chip side: exhaustive partition enumeration. ---------------
+    let off_memories = assign_off_chip(
+        spec,
+        &traffic,
+        &mut oracle,
+        lib,
+        &off_groups,
+        time_s,
+        workers,
+        &mut stats,
+    )?;
+
+    // --- On-chip side: branch-and-bound per allocation size. ------------
+    if on_groups.is_empty() {
+        // A purely off-chip application (or one whose on-chip data is
+        // all foreground): nothing to allocate on chip.
+        if let Some(k) = options.on_chip_memories {
+            if k > 0 {
+                return Err(ExploreError::NoFeasibleAssignment {
+                    reason: format!("{k} on-chip memories requested but no on-chip groups exist"),
+                });
+            }
+        }
+        let cost = off_memories.iter().map(|m| m.cost).sum();
+        return Ok((
+            Organization {
+                memories: off_memories,
+                cost,
+            },
+            stats,
+        ));
+    }
+    let counts: Vec<usize> = match options.on_chip_memories {
+        Some(k) => (k >= 1 && k as usize <= on_groups.len())
+            .then_some(k as usize)
+            .into_iter()
+            .collect(),
+        None => (1..=on_groups.len()).collect(),
+    };
+    let best = sweep_on_chip(
+        spec,
+        &traffic,
+        &mut oracle,
+        lib,
+        &on_groups,
+        &counts,
+        time_s,
+        options,
+        workers,
+        &mut stats,
+    );
+    let (_, mut memories) = best.ok_or_else(|| ExploreError::NoFeasibleAssignment {
+        reason: match options.on_chip_memories {
+            Some(k) => format!("no feasible on-chip assignment with {k} memories"),
+            None => "no feasible on-chip assignment".to_owned(),
+        },
+    })?;
+
+    memories.extend(off_memories);
+    let cost = memories.iter().map(|m| m.cost).sum();
+    Ok((Organization { memories, cost }, stats))
+}
+
+/// Splits the accessed basic groups into off-chip and on-chip candidate
+/// sets, validating the 64-bit mask indexing both searches rely on.
+fn split_accessed_groups(
+    spec: &AppSpec,
+    traffic: &[Traffic],
+) -> Result<(Vec<BasicGroupId>, Vec<BasicGroupId>), ExploreError> {
     let mut off_groups = Vec::new();
     let mut on_groups = Vec::new();
     for g in spec.basic_groups() {
@@ -334,67 +510,25 @@ pub fn assign(
             ),
         });
     }
-
-    // --- Off-chip side: exhaustive partition enumeration. ---------------
-    let off_memories = assign_off_chip(spec, &traffic, &mut oracle, lib, &off_groups, time_s)?;
-
-    // --- On-chip side: branch-and-bound per allocation size. ------------
-    if on_groups.is_empty() {
-        // A purely off-chip application (or one whose on-chip data is
-        // all foreground): nothing to allocate on chip.
-        if let Some(k) = options.on_chip_memories {
-            if k > 0 {
-                return Err(ExploreError::NoFeasibleAssignment {
-                    reason: format!("{k} on-chip memories requested but no on-chip groups exist"),
-                });
-            }
-        }
-        let cost = off_memories.iter().map(|m| m.cost).sum();
-        return Ok(Organization {
-            memories: off_memories,
-            cost,
-        });
-    }
-    let counts: Vec<u32> = match options.on_chip_memories {
-        Some(k) => vec![k],
-        None => (1..=on_groups.len() as u32).collect(),
-    };
-    let mut best: Option<(f64, Vec<MemoryInstance>)> = None;
-    for k in counts {
-        if k == 0 || k as usize > on_groups.len() {
-            continue;
-        }
-        if let Some(mems) = assign_on_chip(
-            spec,
-            &traffic,
-            &mut oracle,
-            lib,
-            &on_groups,
-            k,
-            time_s,
-            options,
-        ) {
-            let cost: CostBreakdown = mems.iter().map(|m| m.cost).sum();
-            let scalar = cost.scalar(options.area_weight, options.power_weight);
-            if best.as_ref().map(|(s, _)| scalar < *s).unwrap_or(true) {
-                best = Some((scalar, mems));
-            }
-        }
-    }
-    let (_, mut memories) = best.ok_or_else(|| ExploreError::NoFeasibleAssignment {
-        reason: match options.on_chip_memories {
-            Some(k) => format!("no feasible on-chip assignment with {k} memories"),
-            None => "no feasible on-chip assignment".to_owned(),
-        },
-    })?;
-
-    memories.extend(off_memories);
-    let cost = memories.iter().map(|m| m.cost).sum();
-    Ok(Organization { memories, cost })
+    Ok((off_groups, on_groups))
 }
 
-/// Builds the cheapest off-chip memory set by enumerating partitions of
-/// the (few) off-chip groups.
+/// One priced off-chip candidate memory (a subset of the off-chip
+/// groups): its power contribution and the ready-made instance.
+struct OffChipEval {
+    mw: f64,
+    mem: MemoryInstance,
+}
+
+/// Builds the cheapest off-chip memory set by enumerating set partitions
+/// of the off-chip groups.
+///
+/// Every candidate memory (nonempty subset of the groups) is priced once
+/// up front — the part-catalog searches fan over the worker pool — and
+/// the partition scan itself is a single deterministic canonical
+/// recursion over the table, so the result is bit-identical for every
+/// worker count.
+#[allow(clippy::too_many_arguments)]
 fn assign_off_chip(
     spec: &AppSpec,
     traffic: &[Traffic],
@@ -402,56 +536,162 @@ fn assign_off_chip(
     lib: &MemLibrary,
     groups: &[BasicGroupId],
     time_s: f64,
+    workers: usize,
+    stats: &mut AllocStats,
 ) -> Result<Vec<MemoryInstance>, ExploreError> {
     if groups.is_empty() {
         return Ok(Vec::new());
     }
-    let partitions = enumerate_partitions(groups.len());
-    let mut best: Option<(f64, Vec<MemoryInstance>)> = None;
-    'part: for partition in &partitions {
-        let mut mems = Vec::new();
-        let mut power = 0.0;
-        for block in partition {
-            let members: Vec<BasicGroupId> = block.iter().map(|&i| groups[i]).collect();
-            let mask: u64 = members.iter().map(|g| 1u64 << g.index()).sum();
-            let ports = oracle.required(mask);
-            if ports > 2 {
-                continue 'part; // DRAM systems offer at most dual banks
+    let n = groups.len();
+    if n > MAX_OFF_CHIP_GROUPS {
+        return Err(ExploreError::TooManyOffChipGroups {
+            count: n,
+            limit: MAX_OFF_CHIP_GROUPS,
+        });
+    }
+    // Port requirements for every nonempty subset, via the shared
+    // memoizing oracle (cheap slot scans; done serially so the cache
+    // warms for the rest of the assignment).
+    let masks: Vec<u64> = (1..(1u64 << n)).collect();
+    let ports: Vec<u32> = masks
+        .iter()
+        .map(|&m| {
+            let global: u64 = (0..n)
+                .filter(|&i| m & (1 << i) != 0)
+                .map(|i| 1u64 << groups[i].index())
+                .sum();
+            oracle.required(global)
+        })
+        .collect();
+    // Price every candidate memory across the pool (the part-catalog
+    // search is the expensive half of the enumeration).
+    let evals: Vec<Result<Option<OffChipEval>, ExploreError>> =
+        parallel_map(&masks, workers, |idx, &m| {
+            let p = ports[idx];
+            if p > 2 {
+                return Ok(None); // DRAM systems offer at most dual banks
             }
+            let members: Vec<BasicGroupId> = (0..n)
+                .filter(|&i| m & (1 << i) != 0)
+                .map(|i| groups[i])
+                .collect();
             let words: u64 = members.iter().map(|&g| spec.group(g).words()).sum();
             let width = members
                 .iter()
                 .map(|&g| spec.group(g).bitwidth())
                 .max()
-                .expect("block not empty");
+                .expect("mask not empty");
             let t: Traffic = members.iter().fold(Traffic::default(), |acc, &g| Traffic {
                 random: acc.random + traffic[g.index()].random,
                 burst: acc.burst + traffic[g.index()].burst,
             });
             let rate_energy = t.energy_accesses() / time_s;
-            let sel = lib.off_chip().select(words, width, ports, rate_energy)?;
+            let sel = lib.off_chip().select(words, width, p, rate_energy)?;
             let mw = sel.static_mw() + sel.energy_pj_per_access() * rate_energy / 1e9;
-            power += mw;
-            mems.push(MemoryInstance {
-                groups: members,
-                words,
-                width,
-                ports,
-                cost: CostBreakdown::new(0.0, 0.0, mw),
-                kind: MemoryKind::OffChip(sel),
-            });
-        }
-        if best.as_ref().map(|(p, _)| power < *p).unwrap_or(true) {
-            best = Some((power, mems));
-        }
-    }
-    best.map(|(_, mems)| mems)
+            Ok(Some(OffChipEval {
+                mw,
+                mem: MemoryInstance {
+                    groups: members,
+                    words,
+                    width,
+                    ports: p,
+                    cost: CostBreakdown::new(0.0, 0.0, mw),
+                    kind: MemoryKind::OffChip(sel),
+                },
+            }))
+        });
+    // Table indexed directly by subset mask (entry 0 unused).
+    let mut table: Vec<Result<Option<OffChipEval>, ExploreError>> = Vec::with_capacity(1usize << n);
+    table.push(Ok(None));
+    table.extend(evals);
+
+    let mut scan = OffChipScan {
+        table: &table,
+        n,
+        best: None,
+        partitions: 0,
+    };
+    scan.recurse(0, &mut Vec::new())?;
+    stats.off_chip_partitions += scan.partitions;
+    let (_, blocks) = scan
+        .best
         .ok_or_else(|| ExploreError::NoFeasibleAssignment {
             reason: "off-chip groups overlap beyond dual-port bandwidth".to_owned(),
+        })?;
+    Ok(blocks
+        .iter()
+        .map(|&mask| match &table[mask as usize] {
+            Ok(Some(e)) => e.mem.clone(),
+            _ => unreachable!("winning partition uses only feasible blocks"),
         })
+        .collect())
 }
 
-/// All set partitions of `{0..n}` (n is small: off-chip groups only).
+/// Canonical set-partition scan over the pre-priced block table: visits
+/// partitions in the same recursion order as a serial enumeration (each
+/// element joins existing blocks in order, then opens a new one) and
+/// keeps the first strict power minimum.
+///
+/// Branches whose growing block is infeasible are pruned — sound because
+/// the port requirement is monotone in the group subset, so every
+/// completion would be skipped anyway. A pricing error surfaces the
+/// first time the scan touches the failing block.
+struct OffChipScan<'a> {
+    table: &'a [Result<Option<OffChipEval>, ExploreError>],
+    n: usize,
+    best: Option<(f64, Vec<u64>)>,
+    partitions: u64,
+}
+
+impl OffChipScan<'_> {
+    fn block_mw(&self, mask: u64) -> f64 {
+        match &self.table[mask as usize] {
+            Ok(Some(e)) => e.mw,
+            _ => unreachable!("scan recurses only through feasible blocks"),
+        }
+    }
+
+    fn recurse(&mut self, i: usize, blocks: &mut Vec<u64>) -> Result<(), ExploreError> {
+        if i == self.n {
+            self.partitions += 1;
+            // Fresh block-order sum: the exact float accumulation a
+            // serial per-partition evaluation performs.
+            let power: f64 = blocks.iter().map(|&m| self.block_mw(m)).sum();
+            if self.best.as_ref().map(|(p, _)| power < *p).unwrap_or(true) {
+                self.best = Some((power, blocks.clone()));
+            }
+            return Ok(());
+        }
+        let bit = 1u64 << i;
+        for b in 0..blocks.len() {
+            let grown = blocks[b] | bit;
+            match &self.table[grown as usize] {
+                Err(e) => return Err(e.clone()),
+                Ok(None) => continue,
+                Ok(Some(_)) => {
+                    let old = blocks[b];
+                    blocks[b] = grown;
+                    self.recurse(i + 1, blocks)?;
+                    blocks[b] = old;
+                }
+            }
+        }
+        match &self.table[bit as usize] {
+            Err(e) => Err(e.clone()),
+            Ok(None) => Ok(()),
+            Ok(Some(_)) => {
+                blocks.push(bit);
+                let r = self.recurse(i + 1, blocks);
+                blocks.pop();
+                r
+            }
+        }
+    }
+}
+
+/// All set partitions of `{0..n}` — kept for tests (the production scan
+/// streams partitions instead of materializing Bell-many vectors).
+#[cfg(test)]
 fn enumerate_partitions(n: usize) -> Vec<Vec<Vec<usize>>> {
     let mut result = Vec::new();
     let mut current: Vec<Vec<usize>> = Vec::new();
@@ -503,16 +743,354 @@ fn on_chip_memory(
     }
 }
 
-/// Shared, read-only context of one on-chip branch-and-bound run.
-struct SearchCtx<'a> {
+/// Admissible per-group cost floor: the group's own cell area at the
+/// block width `width`, plus its access energy in a module of at least
+/// `words` words, `width` bits and `ports` ports. Any real memory
+/// holding the group in a block with at least those dimensions costs at
+/// least this much *for this group's share* — the cell array is at
+/// least per-bit × own words × block width, and the energy model is
+/// monotone in words, width and ports.
+///
+/// The [`BoundKind::Solo`] variant is the original loose floor (flat
+/// cell area, whatever the module looks like); [`BoundKind::Pairwise`]
+/// additionally mirrors the area model's banking penalty and per-port
+/// area factor, both monotone in the module parameters and therefore
+/// still admissible. (Like the original bound, this reads the default
+/// calibration constants; a custom [`memx_memlib::OnChipModel`] with a
+/// cheaper cell array would need its own floor.)
+#[allow(clippy::too_many_arguments)]
+fn group_floor(
+    spec: &AppSpec,
+    traffic: &[Traffic],
+    lib: &MemLibrary,
+    options: &AllocOptions,
+    time_s: f64,
+    g: BasicGroupId,
+    words: u64,
+    width: u32,
+    ports: u32,
+    kind: BoundKind,
+) -> f64 {
+    use memx_memlib::calibration as cal;
+    let grp = spec.group(g);
+    let module = OnChipSpec::new(words, width, ports);
+    let energy = lib.on_chip().energy_pj(&module);
+    let mut cells = cal::ON_CHIP_AREA_PER_BIT_MM2 * grp.words() as f64 * f64::from(width);
+    if kind == BoundKind::Pairwise {
+        // The cell array of any module holding these words is banked at
+        // least this hard and pays at least this port area factor.
+        let bank = 1.0 + (words as f64 / cal::ON_CHIP_BANK_WORDS).min(2.0);
+        let port_factor = 1.0 + cal::ON_CHIP_PORT_AREA_FACTOR * (f64::from(ports) - 1.0);
+        cells *= bank * port_factor;
+    }
+    let mw = energy * traffic[g.index()].total() / time_s / 1e9;
+    cells * options.area_weight + mw * options.power_weight
+}
+
+/// The suffix lower-bound table of the on-chip branch-and-bound, over a
+/// fixed hardest-first group order (see the module docs).
+///
+/// `bound(i, open, k)` lower-bounds the cost every completion adds for
+/// the unassigned groups `order[i..]`, given `open` non-empty memories
+/// so far and `k` memories in total. It is admissible for both
+/// [`BoundKind`]s; the pairwise variant additionally charges each
+/// group's minimum-port floor, the fixed module overhead of every
+/// memory still to be opened, and the `remaining − (k − open)` joins
+/// the pigeonhole principle forces, each at the group's cheapest
+/// pairwise-conflict extra.
+struct SuffixBound {
+    /// `base[i]` = Σ over `order[i..]` of the per-group floor (solo, or
+    /// solo + minimum-port tightening for the pairwise bound).
+    base: Vec<f64>,
+    /// `merge[i][m]` = sum of the `m` smallest join extras among
+    /// `order[i..]`; `None` for the solo bound.
+    merge: Option<Vec<Vec<f64>>>,
+    /// Area-weighted per-module overhead charged for every memory still
+    /// to be opened (each of the `k − open` future blocks pays at least
+    /// the module generator's fixed overhead). Zero for the solo bound.
+    per_block: f64,
+    n: usize,
+}
+
+impl SuffixBound {
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        spec: &AppSpec,
+        traffic: &[Traffic],
+        lib: &MemLibrary,
+        options: &AllocOptions,
+        time_s: f64,
+        order: &[BasicGroupId],
+        oracle: &mut PortOracle,
+        kind: BoundKind,
+    ) -> SuffixBound {
+        let n = order.len();
+        let floor = |g: BasicGroupId, words: u64, width: u32, ports: u32| {
+            group_floor(
+                spec, traffic, lib, options, time_s, g, words, width, ports, kind,
+            )
+        };
+        // The solo floor (1-port private module; flat cells for
+        // `BoundKind::Solo`, model-mirrored for `BoundKind::Pairwise`).
+        let solo: Vec<f64> = order
+            .iter()
+            .map(|&g| floor(g, spec.group(g).words(), spec.group(g).bitwidth(), 1))
+            .collect();
+        let (per_group, merge) = match kind {
+            BoundKind::Solo => (solo, None),
+            BoundKind::Pairwise => {
+                // Tightening 1 (unary): every memory holding `g` needs at
+                // least the group's own minimum port count.
+                let tight: Vec<f64> = order
+                    .iter()
+                    .map(|&g| {
+                        let grp = spec.group(g);
+                        floor(g, grp.words(), grp.bitwidth(), grp.min_ports().max(1))
+                    })
+                    .collect();
+                // Tightening 2 (pairwise): if `g` shares a memory with
+                // *any* other group `h`, the block holds at least both
+                // groups' words, is at least max(w_g, w_h) wide and
+                // needs at least the ports their combined cycle
+                // conflicts force — `g`'s floor rises by at least the
+                // cheapest such extra over all partners (the energy
+                // model is strictly monotone in module words, so every
+                // co-assignment costs something).
+                let join: Vec<f64> = order
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &g)| {
+                        let grp = spec.group(g);
+                        order
+                            .iter()
+                            .enumerate()
+                            .filter(|&(j, _)| j != i)
+                            .map(|(_, &h)| {
+                                let other = spec.group(h);
+                                let words = grp.words() + other.words();
+                                let width = grp.bitwidth().max(other.bitwidth());
+                                let ports =
+                                    oracle.required((1u64 << g.index()) | (1u64 << h.index()));
+                                (floor(g, words, width, ports) - tight[i]).max(0.0)
+                            })
+                            .min_by(f64::total_cmp)
+                            .unwrap_or(0.0)
+                    })
+                    .collect();
+                // merge[i][m]: the m smallest join extras of the suffix.
+                let mut merge = Vec::with_capacity(n + 1);
+                for i in 0..=n {
+                    let mut tail: Vec<f64> = join[i..].to_vec();
+                    tail.sort_by(f64::total_cmp);
+                    let mut sums = Vec::with_capacity(tail.len() + 1);
+                    let mut acc = 0.0;
+                    sums.push(0.0);
+                    for v in tail {
+                        acc += v;
+                        sums.push(acc);
+                    }
+                    merge.push(sums);
+                }
+                (tight, Some(merge))
+            }
+        };
+        let mut base = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            base[i] = base[i + 1] + per_group[i];
+        }
+        let per_block = match kind {
+            BoundKind::Solo => 0.0,
+            BoundKind::Pairwise => {
+                memx_memlib::calibration::ON_CHIP_MODULE_OVERHEAD_MM2 * options.area_weight
+            }
+        };
+        SuffixBound {
+            base,
+            merge,
+            per_block,
+            n,
+        }
+    }
+
+    /// Lower bound on the cost the unassigned suffix `order[i..]` adds,
+    /// with `open` non-empty memories so far and `k` memories in total.
+    fn bound(&self, i: usize, open: usize, k: usize) -> f64 {
+        let to_open = k.saturating_sub(open);
+        let base = self.base[i] + self.per_block * to_open as f64;
+        match &self.merge {
+            None => base,
+            Some(merge) => {
+                let remaining = self.n - i;
+                let forced = remaining.saturating_sub(to_open);
+                base + merge[i][forced]
+            }
+        }
+    }
+}
+
+/// Everything the on-chip sweep shares across allocation sizes: the
+/// hardest-first group order and the suffix bound tables (both are
+/// independent of `k`).
+struct OnChipSweep<'a> {
     spec: &'a AppSpec,
     traffic: &'a [Traffic],
     lib: &'a MemLibrary,
-    order: &'a [BasicGroupId],
-    suffix_lb: &'a [f64],
-    k: usize,
-    time_s: f64,
     options: &'a AllocOptions,
+    time_s: f64,
+    order: Vec<BasicGroupId>,
+    bound: SuffixBound,
+}
+
+impl<'a> OnChipSweep<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        spec: &'a AppSpec,
+        traffic: &'a [Traffic],
+        lib: &'a MemLibrary,
+        groups: &[BasicGroupId],
+        time_s: f64,
+        options: &'a AllocOptions,
+        oracle: &mut PortOracle,
+    ) -> Self {
+        // Hardest-first ordering: most-accessed groups first.
+        let mut order: Vec<BasicGroupId> = groups.to_vec();
+        order.sort_by(|a, b| {
+            traffic[b.index()]
+                .total()
+                .total_cmp(&traffic[a.index()].total())
+                .then(a.cmp(b))
+        });
+        let bound = SuffixBound::build(
+            spec,
+            traffic,
+            lib,
+            options,
+            time_s,
+            &order,
+            oracle,
+            options.bound,
+        );
+        OnChipSweep {
+            spec,
+            traffic,
+            lib,
+            options,
+            time_s,
+            order,
+            bound,
+        }
+    }
+}
+
+/// Scalar cost of an on-chip memory set, exactly as the sweep reduction
+/// compares candidates (sum of cost breakdowns, then scalarize).
+fn on_chip_scalar(mems: &[MemoryInstance], options: &AllocOptions) -> f64 {
+    let cost: CostBreakdown = mems.iter().map(|m| m.cost).sum();
+    cost.scalar(options.area_weight, options.power_weight)
+}
+
+/// The `k = 1..n` allocation-size sweep, fanned over the worker pool.
+///
+/// A deterministically-chosen *seed size* (smallest root lower bound,
+/// earliest on ties) is searched first with the full pool; its cost is
+/// published through an atomic and used only to skip whole sizes whose
+/// root bound strictly exceeds it. The remaining sizes fan over
+/// [`parallel_map`] with the pool split between the sweep and each
+/// size's subtree search, and the results reduce in ascending-`k` order
+/// with strict improvement — bit-identical for every worker count.
+#[allow(clippy::too_many_arguments)]
+fn sweep_on_chip(
+    spec: &AppSpec,
+    traffic: &[Traffic],
+    oracle: &mut PortOracle,
+    lib: &MemLibrary,
+    groups: &[BasicGroupId],
+    counts: &[usize],
+    time_s: f64,
+    options: &AllocOptions,
+    workers: usize,
+    stats: &mut AllocStats,
+) -> Option<(f64, Vec<MemoryInstance>)> {
+    if counts.is_empty() {
+        return None;
+    }
+    let sweep = OnChipSweep::build(spec, traffic, lib, groups, time_s, options, oracle);
+    // Worker budgeting across the two on-chip levels: the sweep claims
+    // at most one worker per size and each size's subtree search gets an
+    // equal share of the rest, so a batch never oversubscribes the pool
+    // cores²-style. Results are independent of the split.
+    let sweep_workers = workers.min(counts.len()).max(1);
+    let inner_workers = (workers / sweep_workers).max(1);
+
+    let root_lb = |k: usize| sweep.bound.bound(0, 0, k);
+    let seed_pos = (0..counts.len())
+        .min_by(|&a, &b| {
+            root_lb(counts[a])
+                .total_cmp(&root_lb(counts[b]))
+                .then(a.cmp(&b))
+        })
+        .expect("counts not empty");
+    // Seed phase: the whole pool works on the most promising size.
+    let (seed_mems, seed_nodes) = assign_on_chip(&sweep, oracle, counts[seed_pos], workers);
+    let shared = AtomicU64::new(
+        seed_mems
+            .as_deref()
+            .map(|m| on_chip_scalar(m, options))
+            .unwrap_or(f64::INFINITY)
+            .to_bits(),
+    );
+    let others: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != seed_pos)
+        .map(|(_, &k)| k)
+        .collect();
+    let fanned = parallel_map(&others, sweep_workers, |_, &k| {
+        if root_lb(k) > f64::from_bits(shared.load(Ordering::Relaxed)) {
+            // Strictly above a published result: this size's search —
+            // even node-limited, its outcome is a feasible organization
+            // costing at least the root bound — can never win the
+            // strict ascending-k reduction, so skipping it cannot
+            // change the result regardless of thread timing.
+            return (None, 0u64, true);
+        }
+        let mut worker_oracle = oracle.clone();
+        let (mems, nodes) = assign_on_chip(&sweep, &mut worker_oracle, k, inner_workers);
+        if let Some(m) = &mems {
+            fetch_min_f64(&shared, on_chip_scalar(m, options));
+        }
+        (mems, nodes, false)
+    });
+
+    // Canonical reduction in ascending-k input order, strict improvement
+    // — the serial sweep's first-found-minimum tie-break.
+    let mut best: Option<(f64, Vec<MemoryInstance>)> = None;
+    let mut seed_slot = Some((seed_mems, seed_nodes, false));
+    let mut fanned = fanned.into_iter();
+    for i in 0..counts.len() {
+        let (mems, nodes, skipped) = if i == seed_pos {
+            seed_slot.take().expect("seed reduced once")
+        } else {
+            fanned.next().expect("one fanned result per non-seed size")
+        };
+        stats.bb_nodes += nodes;
+        if skipped {
+            stats.sweep_skips += 1;
+        }
+        if let Some(m) = mems {
+            let scalar = on_chip_scalar(&m, options);
+            if best.as_ref().map(|(s, _)| scalar < *s).unwrap_or(true) {
+                best = Some((scalar, m));
+            }
+        }
+    }
+    best
+}
+
+/// Shared, read-only context of one on-chip branch-and-bound run.
+struct SearchCtx<'a> {
+    sweep: &'a OnChipSweep<'a>,
+    k: usize,
 }
 
 impl SearchCtx<'_> {
@@ -521,21 +1099,31 @@ impl SearchCtx<'_> {
     fn memory_scalar(&self, oracle: &mut PortOracle, members: &[BasicGroupId]) -> Option<f64> {
         let mask: u64 = members.iter().map(|g| 1u64 << g.index()).sum();
         let ports = oracle.required(mask);
-        if ports > self.options.max_on_chip_ports {
+        if ports > self.sweep.options.max_on_chip_ports {
             return None;
         }
         let mem = on_chip_memory(
-            self.spec,
-            self.traffic,
-            self.lib,
+            self.sweep.spec,
+            self.sweep.traffic,
+            self.sweep.lib,
             members,
             ports,
-            self.time_s,
+            self.sweep.time_s,
         );
-        Some(
-            mem.cost
-                .scalar(self.options.area_weight, self.options.power_weight),
-        )
+        Some(mem.cost.scalar(
+            self.sweep.options.area_weight,
+            self.sweep.options.power_weight,
+        ))
+    }
+
+    fn order(&self) -> &[BasicGroupId] {
+        &self.sweep.order
+    }
+
+    /// The admissible node bound: cost every completion of a node at
+    /// depth `i` with `open` non-empty memories must still add.
+    fn node_bound(&self, i: usize, open: usize) -> f64 {
+        self.sweep.bound.bound(i, open, self.k)
     }
 }
 
@@ -571,21 +1159,21 @@ impl Dfs<'_> {
         if self.nodes > self.node_limit {
             return;
         }
-        let remaining = self.ctx.order.len() - i;
+        let remaining = self.ctx.order().len() - i;
         if bins.len() + remaining < self.ctx.k {
             return; // cannot open enough memories any more
         }
-        if acc + self.ctx.suffix_lb[i] >= self.best_scalar {
+        if acc + self.ctx.node_bound(i, bins.len()) >= self.best_scalar {
             return;
         }
-        if i == self.ctx.order.len() {
+        if i == self.ctx.order().len() {
             if bins.len() == self.ctx.k {
                 self.best_scalar = acc;
                 self.best = Some(bins.clone());
             }
             return;
         }
-        let g = self.ctx.order[i];
+        let g = self.ctx.order()[i];
         // Try existing memories.
         for b in 0..bins.len() {
             bins[b].push(g);
@@ -616,7 +1204,7 @@ impl Dfs<'_> {
 /// serial DFS visiting order) until at least [`TARGET_SUBTREES`]
 /// prefixes exist or every group is assigned.
 fn expand_prefixes(ctx: &SearchCtx<'_>, oracle: &mut PortOracle, greedy_bound: f64) -> Vec<Prefix> {
-    let n = ctx.order.len();
+    let n = ctx.order().len();
     let mut level = vec![Prefix {
         bins: Vec::new(),
         bin_scalars: Vec::new(),
@@ -630,13 +1218,13 @@ fn expand_prefixes(ctx: &SearchCtx<'_>, oracle: &mut PortOracle, greedy_bound: f
                 next.push(p.clone());
                 continue;
             }
-            let g = ctx.order[p.depth];
+            let g = ctx.order()[p.depth];
             let remaining_after = n - p.depth - 1;
             let mut push_child = |bins: Vec<Vec<BasicGroupId>>, bin_scalars: Vec<f64>, acc: f64| {
                 if bins.len() + remaining_after < ctx.k {
                     return; // cannot open enough memories any more
                 }
-                if acc + ctx.suffix_lb[p.depth + 1] >= greedy_bound {
+                if acc + ctx.node_bound(p.depth + 1, bins.len()) >= greedy_bound {
                     return; // cannot strictly beat the greedy incumbent
                 }
                 next.push(Prefix {
@@ -677,10 +1265,12 @@ fn expand_prefixes(ctx: &SearchCtx<'_>, oracle: &mut PortOracle, greedy_bound: f
 }
 
 /// Outcome of one explored subtree: the best strict improvement over
-/// the greedy incumbent found inside it, if any.
+/// the greedy incumbent found inside it, if any, plus the nodes the
+/// exploration consumed.
 struct SubtreeResult {
     val: f64,
     bins: Option<Vec<Vec<BasicGroupId>>>,
+    nodes: u64,
 }
 
 /// Lock-free monotone minimum over non-negative `f64`s (bit order and
@@ -697,65 +1287,23 @@ fn fetch_min_f64(atomic: &AtomicU64, val: f64) {
     }
 }
 
-/// Branch-and-bound assignment of `groups` into exactly `k` on-chip
-/// memories, fanned out over [`AllocOptions::workers`] threads. Returns
-/// `None` when infeasible under the port limit. Deterministic: the
-/// result is bit-identical for every worker count (see module docs).
-#[allow(clippy::too_many_arguments)]
+/// Branch-and-bound assignment of the sweep's groups into exactly `k`
+/// on-chip memories, fanned out over `workers` threads. Returns `None`
+/// when infeasible under the port limit, plus the branch-and-bound
+/// nodes consumed. Deterministic: the result is bit-identical for every
+/// worker count (see module docs); the node count is deterministic for
+/// `workers <= 1`.
 fn assign_on_chip(
-    spec: &AppSpec,
-    traffic: &[Traffic],
+    sweep: &OnChipSweep<'_>,
     oracle: &mut PortOracle,
-    lib: &MemLibrary,
-    groups: &[BasicGroupId],
-    k: u32,
-    time_s: f64,
-    options: &AllocOptions,
-) -> Option<Vec<MemoryInstance>> {
-    let k = k as usize;
-    if groups.is_empty() || k > groups.len() {
-        return None;
+    k: usize,
+    workers: usize,
+) -> (Option<Vec<MemoryInstance>>, u64) {
+    if sweep.order.is_empty() || k > sweep.order.len() {
+        return (None, 0);
     }
-    // Hardest-first ordering: most-accessed groups first.
-    let mut order: Vec<BasicGroupId> = groups.to_vec();
-    order.sort_by(|a, b| {
-        traffic[b.index()]
-            .total()
-            .total_cmp(&traffic[a.index()].total())
-            .then(a.cmp(b))
-    });
-
-    // Per-group lower bound on cost if stored alone in a 1-port module
-    // (energy and cell area are monotone in words/width/ports).
-    let solo_lb: Vec<f64> = order
-        .iter()
-        .map(|&g| {
-            let grp = spec.group(g);
-            let module = OnChipSpec::new(grp.words(), grp.bitwidth(), 1);
-            let energy = lib.on_chip().energy_pj(&module);
-            let cells = memx_memlib::calibration::ON_CHIP_AREA_PER_BIT_MM2 * grp.bits() as f64;
-            let mw = energy * traffic[g.index()].total() / time_s / 1e9;
-            cells * options.area_weight + mw * options.power_weight
-        })
-        .collect();
-    let suffix_lb: Vec<f64> = {
-        let mut s = vec![0.0; order.len() + 1];
-        for i in (0..order.len()).rev() {
-            s[i] = s[i + 1] + solo_lb[i];
-        }
-        s
-    };
-
-    let ctx = SearchCtx {
-        spec,
-        traffic,
-        lib,
-        order: &order,
-        suffix_lb: &suffix_lb,
-        k,
-        time_s,
-        options,
-    };
+    let ctx = SearchCtx { sweep, k };
+    let options = sweep.options;
 
     // Greedy incumbent: the first k groups open their own memories, the
     // rest join wherever the scalar cost grows least. Seeds the bound so
@@ -765,7 +1313,7 @@ fn assign_on_chip(
         let mut bins: Vec<Vec<BasicGroupId>> = Vec::new();
         let mut bin_scalars: Vec<f64> = Vec::new();
         let mut feasible = true;
-        for (i, &g) in order.iter().enumerate() {
+        for (i, &g) in ctx.order().iter().enumerate() {
             if i < k {
                 bins.push(vec![g]);
                 match ctx.memory_scalar(oracle, &bins[i]) {
@@ -811,31 +1359,23 @@ fn assign_on_chip(
     // Explore one subtree with a private node budget against a fixed
     // bound. The outcome is a pure function of (prefix, bound_val,
     // budget), so determinism only requires those to be chosen
-    // deterministically. Returns the result and the nodes consumed.
-    let explore_one = |oracle: &mut PortOracle,
-                       p: &Prefix,
-                       bound_val: f64,
-                       budget: u64|
-     -> (SubtreeResult, u64) {
-        if p.depth == ctx.order.len() {
+    // deterministically.
+    let explore_one = |oracle: &mut PortOracle, p: &Prefix, bound_val: f64, budget: u64| {
+        if p.depth == ctx.order().len() {
             // The whole tree fit into the prefix expansion: the
             // prefix *is* a complete assignment.
             if p.bins.len() == k && p.acc < bound_val {
-                return (
-                    SubtreeResult {
-                        val: p.acc,
-                        bins: Some(p.bins.clone()),
-                    },
-                    1,
-                );
+                return SubtreeResult {
+                    val: p.acc,
+                    bins: Some(p.bins.clone()),
+                    nodes: 1,
+                };
             }
-            return (
-                SubtreeResult {
-                    val: f64::INFINITY,
-                    bins: None,
-                },
-                1,
-            );
+            return SubtreeResult {
+                val: f64::INFINITY,
+                bins: None,
+                nodes: 1,
+            };
         }
         let mut dfs = Dfs {
             ctx: &ctx,
@@ -847,17 +1387,15 @@ fn assign_on_chip(
         let mut bins = p.bins.clone();
         let mut bin_scalars = p.bin_scalars.clone();
         dfs.recurse(oracle, p.depth, &mut bins, &mut bin_scalars, p.acc);
-        (
-            SubtreeResult {
-                val: if dfs.best.is_some() {
-                    dfs.best_scalar
-                } else {
-                    f64::INFINITY
-                },
-                bins: dfs.best,
+        SubtreeResult {
+            val: if dfs.best.is_some() {
+                dfs.best_scalar
+            } else {
+                f64::INFINITY
             },
-            dfs.nodes,
-        )
+            bins: dfs.best,
+            nodes: dfs.nodes,
+        }
     };
 
     // Seed phase: the subtree with the smallest lower bound (earliest on
@@ -867,19 +1405,15 @@ fn assign_on_chip(
     // choice of seed and its search depend on nothing timing-related.
     // This recovers most of the pruning power a serial DFS gets from its
     // evolving incumbent.
-    let lower_bound = |p: &Prefix| p.acc + ctx.suffix_lb[p.depth];
+    let lower_bound = |p: &Prefix| p.acc + ctx.node_bound(p.depth, p.bins.len());
     let seed_idx = prefixes
         .iter()
         .enumerate()
         .min_by(|(i, a), (j, b)| lower_bound(a).total_cmp(&lower_bound(b)).then(i.cmp(j)))
         .map(|(i, _)| i);
-    let (seed_res, seed_nodes) = match seed_idx {
-        Some(i) => {
-            let (r, n) = explore_one(oracle, &prefixes[i], greedy_val, options.node_limit);
-            (Some(r), n)
-        }
-        None => (None, 0),
-    };
+    let seed_res =
+        seed_idx.map(|i| explore_one(oracle, &prefixes[i], greedy_val, options.node_limit));
+    let seed_nodes = seed_res.as_ref().map(|r| r.nodes).unwrap_or(0);
     let seed_val = match &seed_res {
         Some(r) if r.bins.is_some() => r.val,
         _ => greedy_val,
@@ -932,9 +1466,10 @@ fn assign_on_chip(
             SubtreeResult {
                 val: f64::INFINITY,
                 bins: None,
+                nodes: 0,
             }
         } else {
-            explore_one(worker_oracle, p, seed_val, node_budget).0
+            explore_one(worker_oracle, p, seed_val, node_budget)
         };
         if res.bins.is_some() {
             fetch_min_f64(&bound, res.val);
@@ -942,17 +1477,16 @@ fn assign_on_chip(
         *results[j].lock().expect("no poisoned subtree slot") = Some(res);
     };
 
-    let workers = match options.workers {
-        0 => crate::engine::auto_workers(),
-        n => n,
-    }
-    .min(prefixes.len().max(1));
+    let workers = workers.min(prefixes.len().max(1));
     if workers <= 1 {
+        // Straight serial path: the claim loop runs inline on the
+        // calling thread, in canonical claim order, spawning nothing.
         explore(oracle);
     } else {
         thread::scope(|scope| {
             for _ in 0..workers {
                 let mut worker_oracle = oracle.clone();
+                crate::engine::note_thread_spawn();
                 scope.spawn(move || explore(&mut worker_oracle));
             }
         });
@@ -962,6 +1496,7 @@ fn assign_on_chip(
     // then the remaining subtrees in canonical depth-first order, each
     // winning only on strict improvement — the serial first-found-
     // minimum tie-break.
+    let mut nodes = seed_nodes;
     let mut best_val = greedy_val;
     let mut best_bins = greedy.map(|(_, b)| b);
     if let Some(r) = &seed_res {
@@ -975,6 +1510,7 @@ fn assign_on_chip(
     for slot in &results {
         let res = slot.lock().expect("no poisoned subtree slot");
         if let Some(r) = res.as_ref() {
+            nodes += r.nodes;
             if r.val < best_val {
                 if let Some(b) = &r.bins {
                     best_val = r.val;
@@ -984,16 +1520,68 @@ fn assign_on_chip(
         }
     }
 
-    let bins = best_bins?;
-    Some(
-        bins.iter()
-            .map(|members| {
-                let mask: u64 = members.iter().map(|g| 1u64 << g.index()).sum();
-                let ports = oracle.required(mask);
-                on_chip_memory(spec, traffic, lib, members, ports, time_s)
-            })
-            .collect(),
-    )
+    let Some(bins) = best_bins else {
+        return (None, nodes);
+    };
+    let mems = bins
+        .iter()
+        .map(|members| {
+            let mask: u64 = members.iter().map(|g| 1u64 << g.index()).sum();
+            let ports = oracle.required(mask);
+            on_chip_memory(
+                sweep.spec,
+                sweep.traffic,
+                sweep.lib,
+                members,
+                ports,
+                sweep.time_s,
+            )
+        })
+        .collect();
+    (Some(mems), nodes)
+}
+
+/// Root lower bounds of the on-chip search for `k` memories, as
+/// `(solo, pairwise)` — test instrumentation for the admissibility and
+/// dominance properties (the pairwise bound must sit between the solo
+/// bound and the true optimal on-chip cost). Returns `Ok(None)` when the
+/// spec has no on-chip candidate groups or `k` is out of range.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::BadCostWeights`] for invalid weights and
+/// [`ExploreError::NoFeasibleAssignment`] for group sets beyond the
+/// mask limits, mirroring [`assign`].
+#[doc(hidden)]
+pub fn root_lower_bounds(
+    spec: &AppSpec,
+    scbd: &ScbdResult,
+    lib: &MemLibrary,
+    options: &AllocOptions,
+    k: u32,
+) -> Result<Option<(f64, f64)>, ExploreError> {
+    check_cost_weights(options.area_weight, options.power_weight)?;
+    let traffic = group_traffic(spec);
+    let time_s = spec.real_time_seconds();
+    let mut oracle = PortOracle::new(spec, scbd);
+    let (_, on_groups) = split_accessed_groups(spec, &traffic)?;
+    if on_groups.is_empty() || k == 0 || k as usize > on_groups.len() {
+        return Ok(None);
+    }
+    let mut order = on_groups;
+    order.sort_by(|a, b| {
+        traffic[b.index()]
+            .total()
+            .total_cmp(&traffic[a.index()].total())
+            .then(a.cmp(b))
+    });
+    let build = |kind, oracle: &mut PortOracle| {
+        SuffixBound::build(spec, &traffic, lib, options, time_s, &order, oracle, kind)
+    };
+    let solo = build(BoundKind::Solo, &mut oracle);
+    let pairwise = build(BoundKind::Pairwise, &mut oracle);
+    let k = k as usize;
+    Ok(Some((solo.bound(0, 0, k), pairwise.bound(0, 0, k))))
 }
 
 #[cfg(test)]
@@ -1025,6 +1613,39 @@ mod tests {
         b.depend(n, a1, a3).unwrap();
         b.depend(n, a2, a3).unwrap();
         b.cycle_budget(budget).real_time_seconds(0.1);
+        b.build().unwrap()
+    }
+
+    /// Spec with four overlapping off-chip stores (so the off-chip
+    /// partition enumeration has real work) plus two on-chip groups.
+    fn off_heavy_spec() -> AppSpec {
+        let mut b = AppSpecBuilder::new("t");
+        let frames: Vec<_> = (0..4)
+            .map(|i| {
+                b.basic_group_placed(
+                    format!("frame{i}"),
+                    (1 << 18) << i,
+                    8 + 2 * i as u32,
+                    Placement::OffChip,
+                )
+                .unwrap()
+            })
+            .collect();
+        let small = b.basic_group("small", 512, 8).unwrap();
+        let tiny = b.basic_group("tiny", 128, 4).unwrap();
+        let n = b.loop_nest("l", 50_000).unwrap();
+        let mut reads = Vec::new();
+        for &f in &frames {
+            reads.push(b.access(n, f, AccessKind::Read).unwrap());
+        }
+        let w0 = b.access(n, small, AccessKind::Write).unwrap();
+        let w1 = b.access(n, tiny, AccessKind::Write).unwrap();
+        for &r in &reads {
+            b.depend(n, r, w0).unwrap();
+        }
+        b.depend(n, w0, w1).unwrap();
+        // Tight enough that the frame reads overlap each other.
+        b.cycle_budget(400_000).real_time_seconds(0.05);
         b.build().unwrap()
     }
 
@@ -1175,6 +1796,19 @@ mod tests {
     }
 
     #[test]
+    fn off_chip_scan_counts_bell_partitions() {
+        // The streaming scan visits exactly the Bell-number many
+        // partitions the materializing enumeration used to.
+        let spec = off_heavy_spec();
+        let s = scbd::distribute(&spec).unwrap();
+        let (_, stats) = assign_with_stats(&spec, &s, &lib(), &AllocOptions::default()).unwrap();
+        // 4 off-chip groups -> at most Bell(4) = 15 partitions (fewer
+        // only if bandwidth prunes some), and at least 1.
+        assert!(stats.off_chip_partitions >= 1);
+        assert!(stats.off_chip_partitions <= 15, "{stats:?}");
+    }
+
+    #[test]
     fn zero_access_groups_are_foreground() {
         let mut b = AppSpecBuilder::new("t");
         let used = b.basic_group("used", 64, 8).unwrap();
@@ -1223,6 +1857,42 @@ mod tests {
     }
 
     #[test]
+    fn off_chip_and_sweep_parallel_match_serial_for_all_worker_counts() {
+        // The issue's determinism matrix: off-chip enumeration and the
+        // k-sweep must be bit-identical for workers in {1, 2, 8}.
+        let spec = off_heavy_spec();
+        let s = scbd::distribute(&spec).unwrap();
+        for bound in [BoundKind::Solo, BoundKind::Pairwise] {
+            let serial = assign(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    workers: 1,
+                    bound,
+                    ..AllocOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(serial.off_chip_count() >= 1);
+            for workers in [2, 8] {
+                let parallel = assign(
+                    &spec,
+                    &s,
+                    &lib(),
+                    &AllocOptions {
+                        workers,
+                        bound,
+                        ..AllocOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(serial, parallel, "bound={bound:?} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
     fn node_limit_exhaustion_returns_deterministic_incumbent() {
         let spec = mixed_spec(2_000_000);
         let s = scbd::distribute(&spec).unwrap();
@@ -1245,11 +1915,154 @@ mod tests {
         let serial_a = run(1);
         let serial_b = run(1);
         assert_eq!(serial_a, serial_b, "serial runs must be reproducible");
-        for workers in [2, 4] {
+        for workers in [2, 4, 8] {
             assert_eq!(serial_a, run(workers), "workers={workers}");
         }
         // The exhausted search still yields a complete organization.
         assert!(serial_a.on_chip_count() >= 1);
+    }
+
+    #[test]
+    fn sweep_exhaustion_is_deterministic_on_the_off_heavy_spec() {
+        // Same exhaustion matrix, but on a spec that exercises both the
+        // off-chip enumeration and a multi-size k-sweep.
+        let spec = off_heavy_spec();
+        let s = scbd::distribute(&spec).unwrap();
+        let run = |workers: usize| {
+            assign(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    node_limit: 1,
+                    workers,
+                    ..AllocOptions::default()
+                },
+            )
+            .expect("incumbent, not an error")
+        };
+        let serial = run(1);
+        for workers in [2, 8] {
+            assert_eq!(serial, run(workers), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn solo_and_pairwise_bounds_agree_on_exact_results() {
+        // Both bounds are admissible, so with an unexhausted node budget
+        // the search returns the same optimum either way.
+        let spec = mixed_spec(2_000_000);
+        let s = scbd::distribute(&spec).unwrap();
+        for on_chip_memories in [None, Some(1), Some(2), Some(3)] {
+            let solo = assign(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    on_chip_memories,
+                    bound: BoundKind::Solo,
+                    ..AllocOptions::default()
+                },
+            )
+            .unwrap();
+            let pairwise = assign(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    on_chip_memories,
+                    bound: BoundKind::Pairwise,
+                    ..AllocOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(solo, pairwise, "k={on_chip_memories:?}");
+        }
+    }
+
+    /// Many on-chip groups with mixed widths and a tight enough budget
+    /// to create real port conflicts — large enough that the
+    /// branch-and-bound actually expands nodes.
+    fn many_group_spec() -> AppSpec {
+        let mut b = AppSpecBuilder::new("t");
+        let groups: Vec<_> = (0..8)
+            .map(|i| {
+                b.basic_group(format!("g{i}"), 128 << (i % 4), 2 + 3 * (i as u32 % 5))
+                    .unwrap()
+            })
+            .collect();
+        let n = b.loop_nest("l", 10_000).unwrap();
+        let mut reads = Vec::new();
+        for &g in &groups[..7] {
+            reads.push(b.access(n, g, AccessKind::Read).unwrap());
+        }
+        let w = b.access(n, groups[7], AccessKind::Write).unwrap();
+        for &r in &reads {
+            b.depend(n, r, w).unwrap();
+        }
+        // Tight: the seven reads must overlap heavily.
+        b.cycle_budget(30_000).real_time_seconds(0.01);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pairwise_bound_visits_no_more_nodes_than_solo() {
+        let spec = many_group_spec();
+        let s = scbd::distribute(&spec).unwrap();
+        let nodes = |bound| {
+            let (_, stats) = assign_with_stats(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    workers: 1,
+                    bound,
+                    ..AllocOptions::default()
+                },
+            )
+            .unwrap();
+            stats.bb_nodes
+        };
+        let solo = nodes(BoundKind::Solo);
+        let pairwise = nodes(BoundKind::Pairwise);
+        assert!(pairwise <= solo, "pairwise {pairwise} > solo {solo}");
+        assert!(solo > 0);
+    }
+
+    #[test]
+    fn root_bounds_are_ordered_and_admissible_on_the_mixed_spec() {
+        let spec = mixed_spec(2_000_000);
+        let s = scbd::distribute(&spec).unwrap();
+        let options = AllocOptions::default();
+        for k in 1..=3u32 {
+            let (solo, pairwise) = root_lower_bounds(&spec, &s, &lib(), &options, k)
+                .unwrap()
+                .expect("on-chip groups exist");
+            assert!(solo <= pairwise + 1e-12, "k={k}");
+            // Admissibility against the exact fixed-k optimum (the
+            // sweep's on-chip memories only).
+            let org = assign(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    on_chip_memories: Some(k),
+                    ..AllocOptions::default()
+                },
+            )
+            .unwrap();
+            let on_chip: CostBreakdown = org
+                .memories
+                .iter()
+                .filter(|m| matches!(m.kind, MemoryKind::OnChip))
+                .map(|m| m.cost)
+                .sum();
+            let optimum = on_chip.scalar(options.area_weight, options.power_weight);
+            assert!(
+                pairwise <= optimum + 1e-9,
+                "k={k}: pairwise bound {pairwise} exceeds optimum {optimum}"
+            );
+        }
     }
 
     #[test]
@@ -1301,5 +2114,73 @@ mod tests {
                 "weights ({aw}, {pw})"
             );
         }
+    }
+
+    #[test]
+    fn serial_assignment_spawns_no_threads() {
+        // The 1-worker path must be a genuinely straight serial path:
+        // the spawn counter (thread-local, so parallel test runners do
+        // not interfere) must not move.
+        let spec = off_heavy_spec();
+        let s = scbd::distribute(&spec).unwrap();
+        let before = crate::engine::thread_spawns_on_current_thread();
+        let org = assign(
+            &spec,
+            &s,
+            &lib(),
+            &AllocOptions {
+                workers: 1,
+                ..AllocOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(org.on_chip_count() >= 1);
+        assert_eq!(
+            crate::engine::thread_spawns_on_current_thread(),
+            before,
+            "workers=1 assignment spawned a thread"
+        );
+        // Sanity check of the instrument itself: a parallel run spawns.
+        let before = crate::engine::thread_spawns_on_current_thread();
+        assign(
+            &spec,
+            &s,
+            &lib(),
+            &AllocOptions {
+                workers: 4,
+                ..AllocOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(crate::engine::thread_spawns_on_current_thread() > before);
+    }
+
+    #[test]
+    fn too_many_off_chip_groups_error_is_clean() {
+        let mut b = AppSpecBuilder::new("t");
+        let groups: Vec<_> = (0..13)
+            .map(|i| {
+                b.basic_group_placed(format!("f{i}"), 2048, 8, Placement::OffChip)
+                    .unwrap()
+            })
+            .collect();
+        let n = b.loop_nest("l", 10).unwrap();
+        for &g in &groups {
+            b.access(n, g, AccessKind::Read).unwrap();
+        }
+        b.cycle_budget(100_000);
+        let spec = b.build().unwrap();
+        let s = scbd::distribute(&spec).unwrap();
+        let err = assign(&spec, &s, &lib(), &AllocOptions::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExploreError::TooManyOffChipGroups {
+                    count: 13,
+                    limit: MAX_OFF_CHIP_GROUPS
+                }
+            ),
+            "{err}"
+        );
     }
 }

@@ -51,6 +51,7 @@
 //! # }
 //! ```
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -68,6 +69,28 @@ pub fn auto_workers() -> usize {
     thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+thread_local! {
+    /// Worker threads spawned *from this thread* by the crate's fan-out
+    /// machinery. Thread-local so concurrent test runners never see each
+    /// other's spawns.
+    static THREAD_SPAWNS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of worker threads this crate has spawned from the current
+/// thread — instrumentation backing the guarantee that an effective
+/// worker count of 1 takes the straight serial path (no thread is
+/// spawned, by [`parallel_map`] or any allocation fan-out).
+#[doc(hidden)]
+pub fn thread_spawns_on_current_thread() -> u64 {
+    THREAD_SPAWNS.with(|c| c.get())
+}
+
+/// Records one worker-thread spawn (called right before every
+/// `scope.spawn` in this crate).
+pub(crate) fn note_thread_spawn() {
+    THREAD_SPAWNS.with(|c| c.set(c.get() + 1));
 }
 
 /// One labeled variant to evaluate: a specification plus the evaluation
@@ -160,8 +183,11 @@ impl<'l> Engine<'l> {
             .collect();
 
         // Phase 2: fan the evaluations. Points whose allocation search is
-        // on auto (`workers == 0`) get the pool split between the two
-        // levels, so a batch does not oversubscribe cores²-style.
+        // on auto (`workers == 0`) get the pool split between the
+        // levels, so a batch does not oversubscribe cores²-style. (The
+        // allocation solver splits its share further between the k-sweep
+        // and each size's subtree search — three cooperating levels in
+        // total; see `crate::alloc`.)
         let point_workers = self.workers.min(points.len().max(1));
         let alloc_workers = (self.workers / point_workers).max(1);
         parallel_map(points, point_workers, |i, point| {
@@ -223,6 +249,7 @@ where
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     thread::scope(|scope| {
         for _ in 0..workers {
+            note_thread_spawn();
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
@@ -353,6 +380,27 @@ mod tests {
             engine.explore(&bad),
             Err(ExploreError::BudgetTooTight { .. })
         ));
+    }
+
+    #[test]
+    fn one_worker_parallel_map_spawns_no_threads() {
+        let items: Vec<usize> = (0..64).collect();
+        let before = thread_spawns_on_current_thread();
+        let got = parallel_map(&items, 1, |_, &x| x + 1);
+        assert_eq!(got.len(), 64);
+        assert_eq!(
+            thread_spawns_on_current_thread(),
+            before,
+            "workers=1 parallel_map spawned a thread"
+        );
+        // Single-item maps stay inline too, whatever the worker count.
+        let before = thread_spawns_on_current_thread();
+        parallel_map(&items[..1], 8, |_, &x| x + 1);
+        assert_eq!(thread_spawns_on_current_thread(), before);
+        // And the instrument itself moves when threads really spawn.
+        let before = thread_spawns_on_current_thread();
+        parallel_map(&items, 3, |_, &x| x + 1);
+        assert_eq!(thread_spawns_on_current_thread(), before + 3);
     }
 
     #[test]

@@ -33,6 +33,16 @@ pub enum ExploreError {
         /// Explanation of the infeasibility.
         reason: String,
     },
+    /// The off-chip side of assignment enumerates set partitions
+    /// exhaustively, and partition counts grow as Bell numbers: beyond
+    /// the enumerator's limit the search would be intractable, so it is
+    /// rejected up front instead of running effectively forever.
+    TooManyOffChipGroups {
+        /// Accessed off-chip groups in the specification.
+        count: usize,
+        /// Largest off-chip group count the enumeration accepts.
+        limit: usize,
+    },
     /// Cost weights handed to a ranking or assignment API were not
     /// finite non-negative numbers; comparing scalarized costs built
     /// from them would be meaningless (and used to panic).
@@ -63,6 +73,11 @@ impl fmt::Display for ExploreError {
             ExploreError::NoFeasibleAssignment { reason } => {
                 write!(f, "no feasible signal-to-memory assignment: {reason}")
             }
+            ExploreError::TooManyOffChipGroups { count, limit } => write!(
+                f,
+                "too many off-chip groups for exhaustive partition enumeration: \
+                 {count} (limit {limit})"
+            ),
             ExploreError::BadCostWeights {
                 area_weight,
                 power_weight,
@@ -111,6 +126,12 @@ mod tests {
             available: 20,
         };
         assert!(e.to_string().contains("refine"));
+        let e = ExploreError::TooManyOffChipGroups {
+            count: 20,
+            limit: 12,
+        };
+        assert!(e.to_string().contains("20"));
+        assert!(e.to_string().contains("limit 12"));
         let e = ExploreError::from(BuildSpecError::MissingCycleBudget);
         assert!(e.source().is_some());
     }

@@ -13,7 +13,7 @@ use std::fmt;
 use memx_ir::AppSpec;
 use memx_memlib::{CostBreakdown, MemLibrary};
 
-use crate::alloc::{assign, check_cost_weights, AllocOptions, Organization};
+use crate::alloc::{assign_with_stats, check_cost_weights, AllocOptions, AllocStats, Organization};
 use crate::macp;
 use crate::scbd::{self, ScbdResult};
 use crate::ExploreError;
@@ -40,6 +40,10 @@ pub struct CostReport {
     pub schedule: ScbdResult,
     /// Memory-access critical path of the variant.
     pub macp_cycles: u64,
+    /// Search-effort counters of the allocation solver (branch-and-bound
+    /// nodes, sweep skips, off-chip partitions) — how hard the solver
+    /// worked, not part of the deterministic result.
+    pub alloc_stats: AllocStats,
 }
 
 impl fmt::Display for CostReport {
@@ -81,7 +85,7 @@ pub fn evaluate_scheduled(
     schedule: ScbdResult,
     options: &EvaluateOptions,
 ) -> Result<CostReport, ExploreError> {
-    let organization = assign(spec, &schedule, lib, &options.alloc)?;
+    let (organization, alloc_stats) = assign_with_stats(spec, &schedule, lib, &options.alloc)?;
     let report = macp::analyze(spec);
     Ok(CostReport {
         label: spec.name().to_owned(),
@@ -89,6 +93,7 @@ pub fn evaluate_scheduled(
         organization,
         schedule,
         macp_cycles: report.total_cycles,
+        alloc_stats,
     })
 }
 

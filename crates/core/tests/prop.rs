@@ -1,11 +1,11 @@
 //! Property-based tests on the exploration stages: scheduling and
 //! assignment invariants over random specifications.
 
-use memx_core::alloc::{assign, AllocOptions, MemoryKind};
+use memx_core::alloc::{assign, root_lower_bounds, AllocOptions, BoundKind, MemoryKind};
 use memx_core::explore::pareto_indices;
 use memx_core::{macp, scbd};
 use memx_ir::{AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, Placement};
-use memx_memlib::{CostBreakdown, MemLibrary};
+use memx_memlib::{CostBreakdown, MemLibrary, OnChipSpec};
 use proptest::prelude::*;
 
 /// Random schedulable spec: a few groups (mixed placement), a few nests
@@ -67,6 +67,150 @@ fn arb_spec() -> impl Strategy<Value = AppSpec> {
             b.cycle_budget(budget);
             b.build().expect("constructed spec is valid")
         })
+}
+
+/// Small, purely on-chip spec (2–5 groups, mixed widths and minimum
+/// port counts, occasionally overlapping accesses): small enough that
+/// the true optimal assignment is computable by exhaustive partition
+/// enumeration.
+fn arb_onchip_spec() -> impl Strategy<Value = AppSpec> {
+    let group = (1u64..3_000, 1u32..24, 1u32..3);
+    let access = (0usize..8, prop::bool::ANY);
+    let nest = (
+        1u64..100,
+        prop::collection::vec(access, 1..6),
+        prop::bool::ANY,
+    );
+    (
+        prop::collection::vec(group, 2..5),
+        prop::collection::vec(nest, 1..3),
+        // Budget slack factor: 1 forces maximal overlap, 4 none.
+        1u64..5,
+    )
+        .prop_map(|(groups, nests, slack)| {
+            let mut b = AppSpecBuilder::new("prop-onchip");
+            let ids: Vec<BasicGroupId> = groups
+                .iter()
+                .enumerate()
+                .map(|(i, &(words, width, min_ports))| {
+                    b.basic_group_full(format!("g{i}"), words, width, Placement::Any, min_ports)
+                        .expect("group params in range")
+                })
+                .collect();
+            for (n, (iters, accesses, chain)) in nests.iter().enumerate() {
+                let nid = b.loop_nest(format!("n{n}"), *iters).expect("iters > 0");
+                let mut prev = None;
+                for &(gidx, write) in accesses {
+                    let kind = if write {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    let a = b
+                        .access(nid, ids[gidx % ids.len()], kind)
+                        .expect("valid access");
+                    if *chain {
+                        if let Some(p) = prev {
+                            b.depend(nid, p, a).expect("chains are acyclic");
+                        }
+                    }
+                    prev = Some(a);
+                }
+            }
+            let budget: u64 = nests
+                .iter()
+                .map(|(iters, accesses, _)| iters * accesses.len() as u64 * slack)
+                .sum::<u64>()
+                .max(1);
+            b.cycle_budget(budget);
+            b.build().expect("constructed spec is valid")
+        })
+}
+
+/// All partitions of `{0..n}` into exactly `k` nonempty blocks.
+fn partitions_into_k(n: usize, k: usize) -> Vec<Vec<Vec<usize>>> {
+    let mut result = Vec::new();
+    let mut current: Vec<Vec<usize>> = Vec::new();
+    fn recurse(
+        i: usize,
+        n: usize,
+        k: usize,
+        cur: &mut Vec<Vec<usize>>,
+        out: &mut Vec<Vec<Vec<usize>>>,
+    ) {
+        if i == n {
+            if cur.len() == k {
+                out.push(cur.clone());
+            }
+            return;
+        }
+        for b in 0..cur.len() {
+            cur[b].push(i);
+            recurse(i + 1, n, k, cur, out);
+            cur[b].pop();
+        }
+        if cur.len() < k {
+            cur.push(vec![i]);
+            recurse(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    recurse(0, n, k, &mut current, &mut result);
+    result
+}
+
+/// The true optimal on-chip scalar cost for exactly `k` memories, by
+/// exhaustive enumeration against the public cost models (independent
+/// of the branch-and-bound under test). `None` when no partition is
+/// feasible under the 4-port module limit.
+fn exhaustive_on_chip_optimum(
+    spec: &AppSpec,
+    schedule: &memx_core::scbd::ScbdResult,
+    lib: &MemLibrary,
+    groups: &[BasicGroupId],
+    k: usize,
+) -> Option<f64> {
+    let time_s = spec.real_time_seconds();
+    let mut best: Option<f64> = None;
+    for partition in partitions_into_k(groups.len(), k) {
+        let mut scalar = 0.0;
+        let mut feasible = true;
+        for block in &partition {
+            let members: Vec<BasicGroupId> = block.iter().map(|&i| groups[i]).collect();
+            let overlap = schedule.required_ports(|g| members.contains(&g));
+            let min_ports = members
+                .iter()
+                .map(|&g| spec.group(g).min_ports())
+                .max()
+                .expect("block not empty");
+            let ports = overlap.max(min_ports).max(1);
+            if ports > 4 {
+                feasible = false;
+                break;
+            }
+            let words: u64 = members.iter().map(|&g| spec.group(g).words()).sum();
+            let width = members
+                .iter()
+                .map(|&g| spec.group(g).bitwidth())
+                .max()
+                .expect("block not empty");
+            let module = OnChipSpec::new(words, width, ports);
+            let area = lib.on_chip().area_mm2(&module);
+            let accesses: f64 = members
+                .iter()
+                .map(|&g| {
+                    let (r, w) = spec.total_accesses(g);
+                    r + w
+                })
+                .sum();
+            let mw = lib.on_chip().energy_pj(&module) * accesses / time_s / 1e9;
+            scalar += CostBreakdown::new(area, mw, 0.0).scalar(1.0, 1.0);
+        }
+        if feasible && best.map(|b| scalar < b).unwrap_or(true) {
+            best = Some(scalar);
+        }
+    }
+    best
 }
 
 /// Cost points on a small integer grid, so duplicate and dominated
@@ -177,12 +321,97 @@ proptest! {
             workers: 1,
             ..AllocOptions::default()
         }).expect("assignable");
-        for workers in [2usize, 5] {
+        for workers in [2usize, 8] {
             let parallel = assign(&spec, &schedule, &lib, &AllocOptions {
                 workers,
                 ..AllocOptions::default()
             }).expect("assignable");
             prop_assert_eq!(&serial, &parallel, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn pairwise_bound_is_admissible_and_dominates_solo(spec in arb_onchip_spec()) {
+        // The two properties that make BoundKind::Pairwise sound and
+        // worthwhile, against a ground truth computed by exhaustive
+        // partition enumeration (independent of the search under test):
+        //   admissibility: pairwise root bound <= true optimal cost;
+        //   dominance:     pairwise root bound >= solo root bound.
+        let lib = MemLibrary::default_07um();
+        let schedule = scbd::distribute(&spec).expect("schedulable");
+        let options = AllocOptions::default();
+        let groups: Vec<BasicGroupId> = spec
+            .basic_groups()
+            .iter()
+            .filter(|g| {
+                let (r, w) = spec.total_accesses(g.id());
+                r + w > 0.0
+            })
+            .map(|g| g.id())
+            .collect();
+        prop_assert!(!groups.is_empty(), "every nest has at least one access");
+        for k in 1..=groups.len() {
+            let (solo, pairwise) = root_lower_bounds(&spec, &schedule, &lib, &options, k as u32)
+                .expect("weights valid")
+                .expect("on-chip groups exist");
+            prop_assert!(
+                solo <= pairwise + 1e-12,
+                "k={}: solo bound {} above pairwise {}", k, solo, pairwise
+            );
+            if let Some(optimum) =
+                exhaustive_on_chip_optimum(&spec, &schedule, &lib, &groups, k)
+            {
+                prop_assert!(
+                    pairwise <= optimum * (1.0 + 1e-9) + 1e-9,
+                    "k={}: pairwise bound {} exceeds true optimum {}", k, pairwise, optimum
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_search_matches_exhaustive_optimum_for_both_bounds(spec in arb_onchip_spec()) {
+        // With an unexhausted node budget the branch-and-bound is exact:
+        // whatever bound prunes it, the returned on-chip cost must equal
+        // the exhaustively-enumerated optimum.
+        let lib = MemLibrary::default_07um();
+        let schedule = scbd::distribute(&spec).expect("schedulable");
+        let groups: Vec<BasicGroupId> = spec
+            .basic_groups()
+            .iter()
+            .filter(|g| {
+                let (r, w) = spec.total_accesses(g.id());
+                r + w > 0.0
+            })
+            .map(|g| g.id())
+            .collect();
+        prop_assert!(!groups.is_empty(), "every nest has at least one access");
+        for k in 1..=groups.len() {
+            let optimum = exhaustive_on_chip_optimum(&spec, &schedule, &lib, &groups, k);
+            for bound in [BoundKind::Solo, BoundKind::Pairwise] {
+                let result = assign(&spec, &schedule, &lib, &AllocOptions {
+                    on_chip_memories: Some(k as u32),
+                    bound,
+                    ..AllocOptions::default()
+                });
+                match (&optimum, result) {
+                    (Some(opt), Ok(org)) => {
+                        let scalar = org.cost.scalar(1.0, 1.0);
+                        prop_assert!(
+                            (scalar - opt).abs() <= opt.abs() * 1e-9 + 1e-9,
+                            "k={} bound={:?}: search {} vs optimum {}", k, bound, scalar, opt
+                        );
+                    }
+                    (None, Err(_)) => {}
+                    (opt, res) => {
+                        prop_assert!(
+                            false,
+                            "k={} bound={:?}: feasibility disagrees ({:?} vs {:?})",
+                            k, bound, opt, res.map(|o| o.cost)
+                        );
+                    }
+                }
+            }
         }
     }
 

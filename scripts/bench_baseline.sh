@@ -1,18 +1,28 @@
 #!/usr/bin/env bash
 # Times the exploration binaries and emits BENCH_explore.json so the
 # engine's perf trajectory is tracked run over run (CI uploads it as an
-# artifact). Honors MEMX_SMOKE=1 for CI-sized inputs.
+# artifact and gates regressions with scripts/bench_regression.sh).
+# Honors MEMX_SMOKE=1 for CI-sized inputs.
 #
 # The table4 allocation sweep is timed twice — fully serial
 # (MEMX_WORKERS=1) and one worker per core (MEMX_WORKERS=0) — and the
-# wall-clock speedup is reported. The two runs print bit-identical
+# wall-clock speedup is reported (best of two runs each, to damp timer
+# noise on sub-second binaries). The two runs print bit-identical
 # tables; only the wall-clock differs, and only on multi-core hosts.
+#
+# The table4 branch-and-bound is additionally run once per lower bound
+# (MEMX_BOUND=solo / pairwise) with a raised node limit, recording the
+# nodes-visited counters: with an unexhausted budget the node count
+# measures pruning power, and the pairwise-conflict bound must not lose
+# to the solo baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 OUT="${BENCH_OUT:-BENCH_explore.json}"
 BINARIES=(table3_cycle_budget table4_allocation codec_rd_sweep)
+# Unexhausted node budget for the bound comparison (see header).
+NODES_LIMIT=100000000
 
 cargo build --release --package memx-bench --bins
 
@@ -29,6 +39,23 @@ run_secs() {
     awk -v s="$start" -v e="$end" 'BEGIN { printf "%.3f", (e - s) / 1e9 }'
 }
 
+# run_secs_best BINARY [ENV=VAL...] -> best of two runs
+run_secs_best() {
+    local a b
+    a=$(run_secs "$@")
+    b=$(run_secs "$@")
+    awk -v a="$a" -v b="$b" 'BEGIN { printf "%.3f", (a < b) ? a : b }'
+}
+
+# table4_nodes BOUND -> branch-and-bound nodes from the stderr stats line.
+# Pinned to one worker: parallel runs skip subtrees on thread timing, so
+# only the serial node counters are deterministic enough to gate on.
+table4_nodes() {
+    env MEMX_BOUND="$1" MEMX_NODE_LIMIT="$NODES_LIMIT" MEMX_WORKERS=1 \
+        ./target/release/table4_allocation 2>&1 >/dev/null |
+        sed -n 's/^\[alloc nodes: \([0-9]*\)\]$/\1/p' | head -1
+}
+
 cores=$(nproc 2>/dev/null || echo 1)
 smoke=false
 if [ -n "${MEMX_SMOKE:-}" ] && [ "${MEMX_SMOKE}" != "0" ]; then
@@ -42,16 +69,21 @@ for bin in "${BINARIES[@]}"; do
     entries+=$(printf '    "%s": { "seconds": %s },' "$bin" "$secs")$'\n'
 done
 
-t4_serial=$(run_secs table4_allocation MEMX_WORKERS=1)
-t4_parallel=$(run_secs table4_allocation MEMX_WORKERS=0)
+t4_serial=$(run_secs_best table4_allocation MEMX_WORKERS=1)
+t4_parallel=$(run_secs_best table4_allocation MEMX_WORKERS=0)
 speedup=$(awk -v s="$t4_serial" -v p="$t4_parallel" \
     'BEGIN { if (p > 0) printf "%.2f", s / p; else printf "1.00" }')
 printf 'bench: table4 serial %ss / parallel %ss -> speedup %sx on %s core(s)\n' \
     "$t4_serial" "$t4_parallel" "$speedup" "$cores"
 
+nodes_solo=$(table4_nodes solo)
+nodes_pairwise=$(table4_nodes pairwise)
+printf 'bench: table4 nodes visited (exact search): solo %s / pairwise %s\n' \
+    "$nodes_solo" "$nodes_pairwise"
+
 cat > "$OUT" << EOF
 {
-  "schema": "memexplore-bench-v1",
+  "schema": "memexplore-bench-v2",
   "generated_unix": $(date +%s),
   "smoke": $smoke,
   "cores": $cores,
@@ -63,6 +95,10 @@ ${entries%,$'\n'}
     "parallel_seconds": $t4_parallel,
     "speedup": $speedup,
     "workers": $cores
+  },
+  "table4_nodes": {
+    "solo": $nodes_solo,
+    "pairwise": $nodes_pairwise
   }
 }
 EOF

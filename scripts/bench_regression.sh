@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Perf regression gate over BENCH_explore.json artifacts.
+#
+#   scripts/bench_regression.sh PREV.json NEW.json
+#
+# Fails (exit 1) when:
+#   * any binary's wall-clock in NEW exceeds 1.5x its PREV time (only
+#     binaries taking >= 0.2 s are gated — sub-tenth-second timings are
+#     timer noise, not signal);
+#   * NEW's table4 pairwise-bound node count exceeds the solo baseline
+#     (the pairwise-conflict bound must never prune *less* than the solo
+#     bound it replaced) — checked even without a PREV artifact.
+#
+# A missing PREV (first run, expired CI cache) skips the wall-clock
+# comparison with a note instead of failing, so the gate bootstraps
+# itself.
+set -euo pipefail
+
+prev=${1:?usage: bench_regression.sh PREV.json NEW.json}
+new=${2:?usage: bench_regression.sh PREV.json NEW.json}
+max_ratio="1.5"
+min_gated_seconds="0.2"
+
+[ -f "$new" ] || { echo "bench-regression: missing $new" >&2; exit 1; }
+
+# field FILE KEY -> first numeric value of "KEY": NUM in FILE
+field() {
+    sed -n "s/.*\"$2\": \([0-9][0-9.]*\).*/\1/p" "$1" | head -1
+}
+
+# seconds FILE BINARY -> the binary's "seconds" value
+seconds() {
+    awk -v bin="\"$2\"" '
+        index($0, bin) && match($0, /"seconds": [0-9.]+/) {
+            print substr($0, RSTART + 11, RLENGTH - 11); exit
+        }' "$1"
+}
+
+fail=0
+
+# --- Nodes invariant (self-contained: no PREV needed). ----------------
+solo=$(field "$new" solo)
+pairwise=$(field "$new" pairwise)
+if [ -n "$solo" ] && [ -n "$pairwise" ]; then
+    if [ "$pairwise" -gt "$solo" ]; then
+        echo "bench-regression: FAIL pairwise bound visits $pairwise nodes > solo $solo" >&2
+        fail=1
+    else
+        echo "bench-regression: nodes ok (pairwise $pairwise <= solo $solo)"
+    fi
+else
+    echo "bench-regression: FAIL $new lacks table4_nodes counters" >&2
+    fail=1
+fi
+
+# --- Wall-clock comparison against the previous artifact. --------------
+if [ ! -f "$prev" ]; then
+    echo "bench-regression: no previous baseline ($prev); skipping wall-clock gate"
+else
+    for bin in table3_cycle_budget table4_allocation codec_rd_sweep; do
+        old=$(seconds "$prev" "$bin")
+        cur=$(seconds "$new" "$bin")
+        if [ -z "$old" ] || [ -z "$cur" ]; then
+            echo "bench-regression: $bin missing from an artifact; skipping"
+            continue
+        fi
+        # Both samples must clear the noise floor: a sub-floor baseline
+        # is itself timer noise and would make the ratio meaningless.
+        verdict=$(awk -v o="$old" -v c="$cur" -v r="$max_ratio" -v m="$min_gated_seconds" \
+            'BEGIN { print (c >= m && o >= m && c > o * r) ? "regressed" : "ok" }')
+        if [ "$verdict" = "regressed" ]; then
+            echo "bench-regression: FAIL $bin ${cur}s > ${max_ratio}x previous ${old}s" >&2
+            fail=1
+        else
+            echo "bench-regression: $bin ok (${old}s -> ${cur}s)"
+        fi
+    done
+fi
+
+exit $fail
