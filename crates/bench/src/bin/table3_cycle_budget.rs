@@ -18,8 +18,7 @@ fn main() {
     };
     match experiments::table3(&ctx, &extras) {
         Ok(rows) => {
-            let nodes: u64 = rows.iter().map(|r| r.report.alloc_stats.bb_nodes).sum();
-            eprintln!("[alloc nodes: {nodes}]");
+            experiments::print_alloc_stat_lines(rows.iter().map(|r| &r.report));
             println!("Table 3: Different cycle budgets for the BTPC application");
             println!(
                 "{:<24} {:>16} {:>16} {:>16}",

@@ -12,8 +12,7 @@ fn main() {
     let counts = experiments::paper_allocations();
     match experiments::table4(&ctx, &counts) {
         Ok(rows) => {
-            let nodes: u64 = rows.iter().map(|r| r.report.alloc_stats.bb_nodes).sum();
-            eprintln!("[alloc nodes: {nodes}]");
+            experiments::print_alloc_stat_lines(rows.iter().map(|r| &r.report));
             println!("Table 4: Different memory allocations for the BTPC application");
             println!(
                 "{:<24} {:>16} {:>16} {:>16}",

@@ -71,10 +71,14 @@ pub fn env_workers() -> usize {
 }
 
 /// Branch-and-bound node-limit override for the reproduction
-/// *binaries* (`MEMX_NODE_LIMIT`). `scripts/bench_baseline.sh` raises
-/// it when comparing the two lower bounds: with an exhausted budget the
-/// per-subtree budgets just get reallocated and node counts measure
-/// nothing, so the pruning comparison must run the search to
+/// *binaries* (`MEMX_NODE_LIMIT`). It budgets both the on-chip searches
+/// (which degrade to their greedy incumbent on exhaustion) and the
+/// off-chip partition search (which instead raises the deterministic
+/// `TooManyOffChipGroups` exhaustion signal — raise the limit to prove
+/// optima on very large off-chip instances). `scripts/bench_baseline.sh`
+/// raises it when comparing the two lower bounds: with an exhausted
+/// budget the per-subtree budgets just get reallocated and node counts
+/// measure nothing, so the pruning comparison must run the search to
 /// exactness. Library entry points never read it.
 pub fn env_node_limit() -> Option<u64> {
     std::env::var("MEMX_NODE_LIMIT")
@@ -96,6 +100,27 @@ pub fn env_bound() -> memx_core::alloc::BoundKind {
         Some("solo") => memx_core::alloc::BoundKind::Solo,
         _ => memx_core::alloc::BoundKind::Pairwise,
     }
+}
+
+/// Prints a batch's allocation search-effort counters on stderr — the
+/// `[alloc nodes: N]` / `[off-chip nodes: N]` / `[off-chip exhaustive:
+/// N]` lines `scripts/bench_baseline.sh` greps. One owner for the label
+/// format: the table binaries must not hand-roll these lines, or a
+/// label tweak applied to one binary but not the other would leave the
+/// bench JSON with empty fields.
+pub fn print_alloc_stat_lines<'a>(reports: impl IntoIterator<Item = &'a CostReport>) {
+    let mut nodes = 0u64;
+    let mut off_nodes = 0u64;
+    let mut off_exhaustive = 0u64;
+    for r in reports {
+        nodes += r.alloc_stats.bb_nodes;
+        off_nodes += r.alloc_stats.off_chip_bb_nodes;
+        off_exhaustive =
+            off_exhaustive.saturating_add(r.alloc_stats.off_chip_exhaustive_partitions);
+    }
+    eprintln!("[alloc nodes: {nodes}]");
+    eprintln!("[off-chip nodes: {off_nodes}]");
+    eprintln!("[off-chip exhaustive: {off_exhaustive}]");
 }
 
 /// Everything the experiments share: the profiled spec, the technology

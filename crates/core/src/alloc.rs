@@ -15,15 +15,55 @@
 //!
 //! The solver has **three levels**, all exact and all parallel:
 //!
-//! 1. the *off-chip* side enumerates set partitions of the off-chip
-//!    groups, with every candidate memory (subset of groups) priced once
-//!    up front across the worker pool;
+//! 1. the *off-chip* side runs a branch-and-bound over set partitions
+//!    of the off-chip groups in canonical (restricted-growth) order:
+//!    committed blocks are priced exactly against the part catalog,
+//!    every partial partition is charged an admissible per-group
+//!    dynamic-power floor for its unassigned suffix, and subtrees prune
+//!    against a deterministic incumbent — so the retired exhaustive
+//!    scan's 12-group cap (Bell(12) ≈ 4.2 M partitions) is gone, and the
+//!    only remaining ceiling is the 64-accessed-group u64-mask limit
+//!    shared by every partition search here;
 //! 2. the *on-chip sweep* tries every allocation size `k = 1..n`
 //!    (unless [`AllocOptions::on_chip_memories`] pins one), fanning the
 //!    independent searches over the pool;
 //! 3. each size runs a *branch-and-bound* over canonical partitions of
 //!    the on-chip groups, itself split into deterministic subtrees that
 //!    workers claim from a shared queue.
+//!
+//! # The off-chip lower bound
+//!
+//! At a partial partition the committed blocks are priced exactly (the
+//! same catalog selection a complete partition pays) and every
+//! unassigned group `g` contributes its **dynamic-power floor**: `g`'s
+//! energy-weighted access rate priced at the cheapest per-access energy
+//! any single-ported catalog configuration covering `g`'s width can
+//! offer. The floor is admissible whether `g` later joins a committed
+//! block or opens a new one — a block's per-access energy is monotone in
+//! its width (it gangs at least `ceil(width / part_width)` devices) and
+//! the dual-bank factors only add — so pruning never cuts the true
+//! optimum. Static power is deliberately *not* charged to unassigned
+//! groups (a join may reuse a committed block's rank slack), which is
+//! the price of admissibility: instances whose groups are mutually
+//! compatible and tie-heavy prune slowly and may exhaust the node
+//! budget instead (see below).
+//!
+//! The search reproduces the retired exhaustive scan **bit for bit**:
+//! complete partitions evaluate as the same fresh block-order float sum,
+//! leaves are accepted only on strict improvement, and partial
+//! partitions are pruned strictly against bounds derived from real
+//! leaves — so the canonical-first minimum partition (the exhaustive
+//! scan's tie-break) always survives.
+//!
+//! # Off-chip node budget
+//!
+//! The off-chip search shares [`AllocOptions::node_limit`]. Unlike the
+//! on-chip levels (which degrade to their greedy incumbent), an
+//! exhausted off-chip search returns
+//! [`ExploreError::TooManyOffChipGroups`] — a *deterministic* signal
+//! (identical for every worker count: a truncated subtree only raises
+//! it when its lower bound does not already prove it irrelevant) that
+//! the instance needs a bigger budget, not a silently unproven answer.
 //!
 //! # Lower bounds
 //!
@@ -50,8 +90,12 @@
 //! ([`AllocOptions::workers`]) and all three return **bit-identical**
 //! results for every worker count:
 //!
-//! * the off-chip level prices candidate memories in parallel but picks
-//!   the winning partition in one deterministic canonical scan;
+//! * the off-chip level splits its canonical partition tree into
+//!   deterministic prefix subtrees exactly like the on-chip search
+//!   below: workers claim subtrees from a shared queue, the best
+//!   incumbent value is published through an atomic and used *only* to
+//!   skip whole subtrees whose lower bound is clearly above it, and the
+//!   results reduce in canonical order with strict improvement;
 //! * the on-chip sweep explores a deterministically-chosen *seed size*
 //!   first (the one with the smallest root lower bound), publishes its
 //!   cost through an atomic (`f64` bits in an `AtomicU64`), and uses it
@@ -97,10 +141,26 @@ use crate::ExploreError;
 /// depend on the machine the search runs on.
 const TARGET_SUBTREES: usize = 512;
 
-/// Largest off-chip group count the exhaustive set-partition enumeration
-/// accepts: partition counts grow as Bell numbers (Bell(12) ≈ 4.2 M),
-/// so beyond this the enumeration would be intractable.
-const MAX_OFF_CHIP_GROUPS: usize = 12;
+/// Number of set partitions of `n` elements (the Bell number),
+/// saturating at `u64::MAX`.
+///
+/// This is the partition count the retired exhaustive off-chip scan had
+/// to stream through; [`AllocStats::off_chip_exhaustive_partitions`]
+/// reports it next to the branch-and-bound's actual node count so the
+/// pruning gain stays measurable.
+pub fn bell_number(n: usize) -> u64 {
+    let mut row = vec![1u64];
+    for _ in 0..n {
+        let mut next = Vec::with_capacity(row.len() + 1);
+        next.push(*row.last().expect("triangle rows are non-empty"));
+        for &v in &row {
+            let prev = *next.last().expect("just pushed");
+            next.push(prev.saturating_add(v));
+        }
+        row = next;
+    }
+    row[0]
+}
 
 /// Which suffix lower bound the on-chip branch-and-bound prunes with
 /// (see the module docs). Both bounds are admissible, so the *result*
@@ -169,8 +229,19 @@ pub struct AllocStats {
     /// On-chip allocation sizes skipped outright because their root
     /// lower bound exceeded the published sweep incumbent.
     pub sweep_skips: u64,
-    /// Complete off-chip set partitions scanned.
+    /// Complete off-chip set partitions reached by the search.
     pub off_chip_partitions: u64,
+    /// Branch-and-bound nodes expanded by the off-chip partition search
+    /// (complete-prefix probes included).
+    pub off_chip_bb_nodes: u64,
+    /// Off-chip search subtrees skipped outright because their lower
+    /// bound exceeded the published incumbent.
+    pub off_chip_pruned_subtrees: u64,
+    /// Size of the off-chip set-partition space ([`bell_number`] of the
+    /// off-chip group count, saturating): what the retired exhaustive
+    /// enumeration had to scan. `off_chip_bb_nodes` sitting below this
+    /// is the branch-and-bound's pruning gain.
+    pub off_chip_exhaustive_partitions: u64,
 }
 
 /// Where an allocated memory lives.
@@ -403,7 +474,7 @@ pub fn assign_with_stats(
         n => n,
     };
 
-    // --- Off-chip side: exhaustive partition enumeration. ---------------
+    // --- Off-chip side: branch-and-bound over set partitions. -----------
     let off_memories = assign_off_chip(
         spec,
         &traffic,
@@ -411,6 +482,7 @@ pub fn assign_with_stats(
         lib,
         &off_groups,
         time_s,
+        options,
         workers,
         &mut stats,
     )?;
@@ -513,20 +585,332 @@ fn split_accessed_groups(
     Ok((off_groups, on_groups))
 }
 
-/// One priced off-chip candidate memory (a subset of the off-chip
-/// groups): its power contribution and the ready-made instance.
-struct OffChipEval {
-    mw: f64,
-    mem: MemoryInstance,
+/// Shared read-only context of one off-chip partition search.
+struct OffChipCtx<'a> {
+    spec: &'a AppSpec,
+    traffic: &'a [Traffic],
+    lib: &'a MemLibrary,
+    groups: &'a [BasicGroupId],
+    time_s: f64,
+    /// `floor_suffix[i]` = Σ over `groups[i..]` of the per-group
+    /// dynamic-power floor (see [`off_chip_group_floor`]).
+    floor_suffix: Vec<f64>,
 }
 
-/// Builds the cheapest off-chip memory set by enumerating set partitions
-/// of the off-chip groups.
-///
-/// Every candidate memory (nonempty subset of the groups) is priced once
-/// up front — the part-catalog searches fan over the worker pool — and
-/// the partition scan itself is a single deterministic canonical
-/// recursion over the table, so the result is bit-identical for every
+impl OffChipCtx<'_> {
+    fn n(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Global group-index mask of a local subset mask.
+    fn global_mask(&self, mask: u64) -> u64 {
+        (0..self.n())
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| 1u64 << self.groups[i].index())
+            .sum()
+    }
+
+    /// Block dimensions and energy-weighted access rate of a subset, in
+    /// canonical member order (the float accumulation matches the
+    /// retired exhaustive scan exactly).
+    fn block_dims(&self, mask: u64) -> (u64, u32, f64) {
+        let mut words = 0u64;
+        let mut width = 0u32;
+        let mut t = Traffic::default();
+        for i in 0..self.n() {
+            if mask & (1 << i) != 0 {
+                let g = self.groups[i];
+                words += self.spec.group(g).words();
+                width = width.max(self.spec.group(g).bitwidth());
+                t = Traffic {
+                    random: t.random + self.traffic[g.index()].random,
+                    burst: t.burst + self.traffic[g.index()].burst,
+                };
+            }
+        }
+        (words, width, t.energy_accesses() / self.time_s)
+    }
+
+    /// Builds the ready-made instance of a feasible winning block.
+    fn build_memory(&self, pricer: &mut OffChipPricer<'_>, mask: u64) -> MemoryInstance {
+        let members: Vec<BasicGroupId> = (0..self.n())
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| self.groups[i])
+            .collect();
+        let ports = pricer.oracle.required(self.global_mask(mask));
+        let (words, width, rate_energy) = self.block_dims(mask);
+        let sel = self
+            .lib
+            .off_chip()
+            .select(words, width, ports, rate_energy)
+            .expect("winning blocks are feasible");
+        let mw = sel.static_mw() + sel.energy_pj_per_access() * rate_energy / 1e9;
+        MemoryInstance {
+            groups: members,
+            words,
+            width,
+            ports,
+            cost: CostBreakdown::new(0.0, 0.0, mw),
+            kind: MemoryKind::OffChip(sel),
+        }
+    }
+}
+
+/// Per-worker lazy block pricer: each worker owns a clone of the port
+/// oracle plus its own price memo, so pricing needs no synchronization.
+#[derive(Clone)]
+struct OffChipPricer<'a> {
+    ctx: &'a OffChipCtx<'a>,
+    oracle: PortOracle,
+    cache: HashMap<u64, Option<f64>>,
+}
+
+impl OffChipPricer<'_> {
+    /// Power (mW) of the cheapest off-chip configuration holding exactly
+    /// the groups in `mask`, or `None` when the subset's overlap needs
+    /// more than the two ports DRAM systems offer. Infallible otherwise:
+    /// the catalog is checked non-empty up front and ports are pre-gated,
+    /// the only ways selection can fail.
+    fn price(&mut self, mask: u64) -> Option<f64> {
+        if let Some(&p) = self.cache.get(&mask) {
+            return p;
+        }
+        let ports = self.oracle.required(self.ctx.global_mask(mask));
+        let mw = (ports <= 2).then(|| {
+            let (words, width, rate_energy) = self.ctx.block_dims(mask);
+            let sel = self
+                .ctx
+                .lib
+                .off_chip()
+                .select(words, width, ports, rate_energy)
+                .expect("catalog non-empty and ports pre-gated");
+            sel.static_mw() + sel.energy_pj_per_access() * rate_energy / 1e9
+        });
+        self.cache.insert(mask, mw);
+        mw
+    }
+
+    /// Fresh block-order power sum of a committed partial partition —
+    /// the exact float accumulation the exhaustive scan performed per
+    /// complete partition, so tie-breaks stay bit-identical.
+    fn committed(&mut self, blocks: &[u64]) -> f64 {
+        let mut sum = 0.0;
+        for &m in blocks {
+            sum += self.price(m).expect("committed blocks are feasible");
+        }
+        sum
+    }
+}
+
+/// Admissible per-group power floor of the off-chip suffix bound: the
+/// group's energy-weighted access rate priced at the cheapest per-access
+/// energy any catalog configuration covering the group's width can
+/// offer. Every block holding the group — joined or newly opened,
+/// single- or dual-ported — pays at least this much *for this group's
+/// accesses*, because a block at least `width` bits wide gangs at least
+/// `ceil(width / part_width)` devices of whatever part it selects, and
+/// the dual-bank energy factor only adds. Static power is deliberately
+/// excluded (a join may reuse a committed block's rank slack).
+fn off_chip_group_floor(
+    spec: &AppSpec,
+    traffic: &[Traffic],
+    lib: &MemLibrary,
+    time_s: f64,
+    g: BasicGroupId,
+) -> f64 {
+    let width = spec.group(g).bitwidth();
+    let floor_e = lib
+        .off_chip()
+        .parts()
+        .iter()
+        .map(|p| p.energy_pj() * f64::from(width.div_ceil(p.width())))
+        .min_by(f64::total_cmp)
+        .expect("catalog checked non-empty");
+    floor_e * (traffic[g.index()].energy_accesses() / time_s) / 1e9
+}
+
+/// Strictly-above test with an ulp guard, for comparing an off-chip
+/// lower bound against the cost of a *real* partition (greedy, seed or
+/// published incumbent). The suffix floor can be exactly tight in real
+/// arithmetic — e.g. same-part merges whose marginal energy equals the
+/// floor — where float rounding could push the bound a few ulps past the
+/// partition cost and cut the canonical-first optimum. The guard admits
+/// those ties: it only ever explores more, never less.
+fn above_with_slack(lb: f64, bound: f64) -> bool {
+    lb > bound + bound.abs() * 1e-12
+}
+
+/// A partial canonical partition of the first `depth` off-chip groups.
+#[derive(Clone)]
+struct OffChipPrefix {
+    blocks: Vec<u64>,
+    depth: usize,
+}
+
+/// Outcome of one explored off-chip subtree.
+struct OffChipSubtreeResult {
+    val: f64,
+    blocks: Option<Vec<u64>>,
+    nodes: u64,
+    partitions: u64,
+    truncated: bool,
+    skipped: bool,
+}
+
+/// Depth-first exploration of one off-chip subtree with a private node
+/// budget against a fixed outer bound (see module docs).
+struct OffChipDfs<'a> {
+    ctx: &'a OffChipCtx<'a>,
+    /// Strict upper bound from outside the subtree (the greedy or seed
+    /// value — always the cost of a real partition): nodes are pruned
+    /// only when strictly above it, so a leaf *equal* to the eventual
+    /// optimum is never cut and the canonical first-found minimum of the
+    /// exhaustive scan is reproduced exactly.
+    outer: f64,
+    best_mw: f64,
+    best: Option<Vec<u64>>,
+    nodes: u64,
+    node_limit: u64,
+    truncated: bool,
+    partitions: u64,
+}
+
+impl OffChipDfs<'_> {
+    fn recurse(&mut self, pricer: &mut OffChipPricer<'_>, i: usize, blocks: &mut Vec<u64>) {
+        if self.truncated {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.node_limit {
+            self.truncated = true;
+            return;
+        }
+        let committed = pricer.committed(blocks);
+        let lb = committed + self.ctx.floor_suffix[i];
+        // Ulp-guarded against the outer bound (a tie may hide the
+        // canonical-first optimum), exact non-strict against a leaf
+        // already found inside (an equal deeper leaf loses the
+        // first-found tie-break anyway).
+        if above_with_slack(lb, self.outer) || lb >= self.best_mw {
+            return;
+        }
+        if i == self.ctx.n() {
+            self.partitions += 1;
+            if committed < self.best_mw {
+                self.best_mw = committed;
+                self.best = Some(blocks.clone());
+            }
+            return;
+        }
+        let bit = 1u64 << i;
+        for b in 0..blocks.len() {
+            let grown = blocks[b] | bit;
+            // Infeasible grown blocks prune the branch — sound because
+            // the port requirement is monotone in the group subset.
+            if pricer.price(grown).is_some() {
+                let old = blocks[b];
+                blocks[b] = grown;
+                self.recurse(pricer, i + 1, blocks);
+                blocks[b] = old;
+            }
+        }
+        if pricer.price(bit).is_some() {
+            blocks.push(bit);
+            self.recurse(pricer, i + 1, blocks);
+            blocks.pop();
+        }
+    }
+}
+
+/// Deterministic greedy off-chip partition, seeding the search bound:
+/// each group joins the feasible block whose power delta is smallest
+/// (earliest block on ties), or opens its own block when that is
+/// strictly cheaper. Returns `None` when some singleton is infeasible —
+/// port requirements are monotone, so no partition is feasible at all
+/// in that case.
+fn off_chip_greedy(ctx: &OffChipCtx<'_>, pricer: &mut OffChipPricer<'_>) -> Option<f64> {
+    let mut blocks: Vec<u64> = Vec::new();
+    for i in 0..ctx.n() {
+        let bit = 1u64 << i;
+        let open_delta = pricer.price(bit)?;
+        let mut choice: Option<(usize, f64)> = None;
+        for (b, &mask) in blocks.iter().enumerate() {
+            if let Some(grown) = pricer.price(mask | bit) {
+                let delta = grown - pricer.price(mask).expect("existing blocks are feasible");
+                if choice.map(|(_, d)| delta < d).unwrap_or(true) {
+                    choice = Some((b, delta));
+                }
+            }
+        }
+        match choice {
+            Some((b, delta)) if delta <= open_delta => blocks[b] |= bit,
+            _ => blocks.push(bit),
+        }
+    }
+    Some(pricer.committed(&blocks))
+}
+
+/// Expands the canonical off-chip partition tree breadth-first (children
+/// in depth-first candidate order, so the prefix sequence preserves the
+/// serial visiting order) until at least [`TARGET_SUBTREES`] prefixes
+/// exist or every group is assigned. Children strictly above the greedy
+/// bound, or growing an infeasible block, are dropped.
+fn off_chip_expand(
+    ctx: &OffChipCtx<'_>,
+    pricer: &mut OffChipPricer<'_>,
+    outer: f64,
+) -> Vec<OffChipPrefix> {
+    let n = ctx.n();
+    let mut level = vec![OffChipPrefix {
+        blocks: Vec::new(),
+        depth: 0,
+    }];
+    while level.len() < TARGET_SUBTREES && level.iter().any(|p| p.depth < n) {
+        let mut next: Vec<OffChipPrefix> = Vec::with_capacity(level.len() * 2);
+        for p in &level {
+            if p.depth == n {
+                next.push(p.clone());
+                continue;
+            }
+            let bit = 1u64 << p.depth;
+            let mut push_child = |blocks: Vec<u64>, pricer: &mut OffChipPricer<'_>| {
+                let lb = pricer.committed(&blocks) + ctx.floor_suffix[p.depth + 1];
+                if above_with_slack(lb, outer) {
+                    return; // clearly above a real partition's cost
+                }
+                next.push(OffChipPrefix {
+                    blocks,
+                    depth: p.depth + 1,
+                });
+            };
+            for b in 0..p.blocks.len() {
+                let grown = p.blocks[b] | bit;
+                if pricer.price(grown).is_some() {
+                    let mut blocks = p.blocks.clone();
+                    blocks[b] = grown;
+                    push_child(blocks, pricer);
+                }
+            }
+            if pricer.price(bit).is_some() {
+                let mut blocks = p.blocks.clone();
+                blocks.push(bit);
+                push_child(blocks, pricer);
+            }
+        }
+        if next.is_empty() {
+            return next; // every branch infeasible or bounded out
+        }
+        level = next;
+    }
+    level
+}
+
+/// Builds the cheapest off-chip memory set by branch-and-bound over set
+/// partitions of the off-chip groups (see module docs): canonical
+/// restricted-growth order, exact committed-block prices plus the
+/// admissible per-group floor, deterministic prefix subtrees fanned over
+/// the workers with an atomic incumbent used only to skip whole
+/// subtrees. Bit-identical to the retired exhaustive scan for every
 /// worker count.
 #[allow(clippy::too_many_arguments)]
 fn assign_off_chip(
@@ -536,181 +920,337 @@ fn assign_off_chip(
     lib: &MemLibrary,
     groups: &[BasicGroupId],
     time_s: f64,
+    options: &AllocOptions,
     workers: usize,
     stats: &mut AllocStats,
 ) -> Result<Vec<MemoryInstance>, ExploreError> {
     if groups.is_empty() {
         return Ok(Vec::new());
     }
+    if lib.off_chip().parts().is_empty() {
+        // Checked up front so block pricing is infallible everywhere.
+        return Err(ExploreError::Part(
+            memx_memlib::SelectPartError::EmptyCatalog,
+        ));
+    }
     let n = groups.len();
-    if n > MAX_OFF_CHIP_GROUPS {
-        return Err(ExploreError::TooManyOffChipGroups {
-            count: n,
-            limit: MAX_OFF_CHIP_GROUPS,
+    stats.off_chip_exhaustive_partitions = stats
+        .off_chip_exhaustive_partitions
+        .saturating_add(bell_number(n));
+    let mut floor_suffix = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        floor_suffix[i] =
+            floor_suffix[i + 1] + off_chip_group_floor(spec, traffic, lib, time_s, groups[i]);
+    }
+    let ctx = OffChipCtx {
+        spec,
+        traffic,
+        lib,
+        groups,
+        time_s,
+        floor_suffix,
+    };
+    let mut pricer = OffChipPricer {
+        ctx: &ctx,
+        oracle: oracle.clone(),
+        cache: HashMap::new(),
+    };
+
+    // Greedy incumbent: only ever a pruning bound, never a result — the
+    // reduction starts empty, so the canonical-first optimum the
+    // exhaustive scan returned is reproduced bit for bit.
+    let Some(greedy_mw) = off_chip_greedy(&ctx, &mut pricer) else {
+        return Err(ExploreError::NoFeasibleAssignment {
+            reason: "off-chip groups overlap beyond dual-port bandwidth".to_owned(),
+        });
+    };
+
+    // Split the canonical tree into deterministic subtrees and compute
+    // each root's lower bound once (serially, so it is deterministic).
+    let prefixes = off_chip_expand(&ctx, &mut pricer, greedy_mw);
+    let bounds: Vec<f64> = prefixes
+        .iter()
+        .map(|p| pricer.committed(&p.blocks) + ctx.floor_suffix[p.depth])
+        .collect();
+
+    // Explore one subtree with a private node budget against a fixed
+    // bound: a pure function of (prefix, outer, budget), so determinism
+    // only needs those chosen deterministically.
+    let explore_one =
+        |pricer: &mut OffChipPricer<'_>, p: &OffChipPrefix, outer: f64, budget: u64| {
+            if p.depth == n {
+                // The whole tree fit into the prefix expansion: the prefix
+                // *is* a complete partition (already bounded by `outer`).
+                let mw = pricer.committed(&p.blocks);
+                return OffChipSubtreeResult {
+                    val: mw,
+                    blocks: Some(p.blocks.clone()),
+                    nodes: 1,
+                    partitions: 1,
+                    truncated: false,
+                    skipped: false,
+                };
+            }
+            let mut dfs = OffChipDfs {
+                ctx: &ctx,
+                outer,
+                best_mw: f64::INFINITY,
+                best: None,
+                nodes: 0,
+                node_limit: budget,
+                truncated: false,
+                partitions: 0,
+            };
+            let mut blocks = p.blocks.clone();
+            dfs.recurse(pricer, p.depth, &mut blocks);
+            OffChipSubtreeResult {
+                val: if dfs.best.is_some() {
+                    dfs.best_mw
+                } else {
+                    f64::INFINITY
+                },
+                blocks: dfs.best,
+                nodes: dfs.nodes,
+                partitions: dfs.partitions,
+                truncated: dfs.truncated,
+                skipped: false,
+            }
+        };
+
+    // Seed phase: the subtree with the smallest lower bound (earliest on
+    // ties) gets the full node budget first; its value tightens the
+    // bound every other subtree starts from — deterministically.
+    let seed_idx = (0..prefixes.len())
+        .min_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)))
+        .expect("expansion keeps at least the greedy partition's prefix");
+    let seed_res = explore_one(
+        &mut pricer,
+        &prefixes[seed_idx],
+        greedy_mw,
+        options.node_limit,
+    );
+    let seed_val = if seed_res.blocks.is_some() {
+        seed_res.val
+    } else {
+        greedy_mw
+    };
+    let node_budget =
+        options.node_limit.saturating_sub(seed_res.nodes) / prefixes.len().max(1) as u64;
+
+    // Fan the remaining subtrees over the workers; the atomic incumbent
+    // only ever skips whole subtrees whose bound is strictly above it,
+    // so the reduced result is independent of thread timing.
+    let published = AtomicU64::new(seed_val.to_bits());
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<OffChipSubtreeResult>>> =
+        (0..prefixes.len()).map(|_| Mutex::new(None)).collect();
+    let claim_order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..prefixes.len()).collect();
+        idx.sort_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)));
+        idx
+    };
+    let explore = |pricer: &mut OffChipPricer<'_>| loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= claim_order.len() {
+            break;
+        }
+        let j = claim_order[c];
+        if j == seed_idx {
+            continue; // already explored in the seed phase
+        }
+        let res = if above_with_slack(bounds[j], f64::from_bits(published.load(Ordering::Relaxed)))
+        {
+            OffChipSubtreeResult {
+                val: f64::INFINITY,
+                blocks: None,
+                nodes: 0,
+                partitions: 0,
+                truncated: false,
+                skipped: true,
+            }
+        } else {
+            explore_one(pricer, &prefixes[j], seed_val, node_budget)
+        };
+        if res.blocks.is_some() {
+            fetch_min_f64(&published, res.val);
+        }
+        *results[j].lock().expect("no poisoned subtree slot") = Some(res);
+    };
+
+    let fan_workers = workers.min(prefixes.len().max(1));
+    if fan_workers <= 1 {
+        explore(&mut pricer);
+    } else {
+        thread::scope(|scope| {
+            for _ in 0..fan_workers {
+                let mut worker_pricer = pricer.clone();
+                crate::engine::note_thread_spawn();
+                scope.spawn(move || explore(&mut worker_pricer));
+            }
         });
     }
-    // Port requirements for every nonempty subset, via the shared
-    // memoizing oracle (cheap slot scans; done serially so the cache
-    // warms for the rest of the assignment).
-    let masks: Vec<u64> = (1..(1u64 << n)).collect();
-    let ports: Vec<u32> = masks
-        .iter()
-        .map(|&m| {
-            let global: u64 = (0..n)
-                .filter(|&i| m & (1 << i) != 0)
-                .map(|i| 1u64 << groups[i].index())
-                .sum();
-            oracle.required(global)
-        })
-        .collect();
-    // Price every candidate memory across the pool (the part-catalog
-    // search is the expensive half of the enumeration).
-    let evals: Vec<Result<Option<OffChipEval>, ExploreError>> =
-        parallel_map(&masks, workers, |idx, &m| {
-            let p = ports[idx];
-            if p > 2 {
-                return Ok(None); // DRAM systems offer at most dual banks
-            }
-            let members: Vec<BasicGroupId> = (0..n)
-                .filter(|&i| m & (1 << i) != 0)
-                .map(|i| groups[i])
-                .collect();
-            let words: u64 = members.iter().map(|&g| spec.group(g).words()).sum();
-            let width = members
-                .iter()
-                .map(|&g| spec.group(g).bitwidth())
-                .max()
-                .expect("mask not empty");
-            let t: Traffic = members.iter().fold(Traffic::default(), |acc, &g| Traffic {
-                random: acc.random + traffic[g.index()].random,
-                burst: acc.burst + traffic[g.index()].burst,
-            });
-            let rate_energy = t.energy_accesses() / time_s;
-            let sel = lib.off_chip().select(words, width, p, rate_energy)?;
-            let mw = sel.static_mw() + sel.energy_pj_per_access() * rate_energy / 1e9;
-            Ok(Some(OffChipEval {
-                mw,
-                mem: MemoryInstance {
-                    groups: members,
-                    words,
-                    width,
-                    ports: p,
-                    cost: CostBreakdown::new(0.0, 0.0, mw),
-                    kind: MemoryKind::OffChip(sel),
-                },
-            }))
-        });
-    // Table indexed directly by subset mask (entry 0 unused).
-    let mut table: Vec<Result<Option<OffChipEval>, ExploreError>> = Vec::with_capacity(1usize << n);
-    table.push(Ok(None));
-    table.extend(evals);
 
-    let mut scan = OffChipScan {
-        table: &table,
-        n,
+    // Deterministic reduction in canonical subtree order with strict
+    // improvement — the exhaustive scan's first-found-minimum tie-break.
+    let mut collected: Vec<OffChipSubtreeResult> = Vec::with_capacity(prefixes.len());
+    let mut seed_slot = Some(seed_res);
+    for (j, slot) in results.iter().enumerate() {
+        if j == seed_idx {
+            collected.push(seed_slot.take().expect("seed reduced once"));
+        } else {
+            collected.push(
+                slot.lock()
+                    .expect("no poisoned subtree slot")
+                    .take()
+                    .expect("every non-seed subtree claimed"),
+            );
+        }
+    }
+    let mut best_val = f64::INFINITY;
+    let mut best_blocks: Option<Vec<u64>> = None;
+    for r in &collected {
+        stats.off_chip_bb_nodes += r.nodes;
+        stats.off_chip_partitions += r.partitions;
+        if r.skipped {
+            stats.off_chip_pruned_subtrees += 1;
+        }
+        if r.val < best_val {
+            if let Some(b) = &r.blocks {
+                best_val = r.val;
+                best_blocks = Some(b.clone());
+            }
+        }
+    }
+
+    // Exhaustion is raised only when a truncated subtree could actually
+    // hide a better (or canonically-earlier equal) partition: truncated
+    // subtrees whose bound already exceeds the reduced best prove
+    // themselves irrelevant. Subtrees skipped by the atomic incumbent
+    // always have bounds strictly above it, so the signal is identical
+    // for every worker count and thread timing.
+    let exhausted = collected
+        .iter()
+        .enumerate()
+        .any(|(j, r)| r.truncated && !above_with_slack(bounds[j], best_val));
+    if exhausted {
+        return Err(ExploreError::TooManyOffChipGroups {
+            count: n,
+            node_limit: options.node_limit,
+        });
+    }
+    let Some(blocks) = best_blocks else {
+        return Err(ExploreError::NoFeasibleAssignment {
+            reason: "off-chip groups overlap beyond dual-port bandwidth".to_owned(),
+        });
+    };
+    Ok(blocks
+        .iter()
+        .map(|&mask| ctx.build_memory(&mut pricer, mask))
+        .collect())
+}
+
+/// The retired exhaustive streaming set-partition scan, kept as the
+/// ground truth the branch-and-bound is property-tested against: returns
+/// the off-chip memories of the optimal partition (canonical-first
+/// strict minimum) plus the number of complete partitions scanned.
+/// Enumeration cost grows as Bell numbers — test instrumentation for
+/// small instances only.
+///
+/// # Errors
+///
+/// As for [`assign`] (minus the node-budget exhaustion signal, which the
+/// exhaustive scan does not have).
+///
+/// # Panics
+///
+/// Panics on more than 16 off-chip groups (Bell(16) ≈ 10¹⁰ partitions —
+/// the reference would effectively never finish).
+#[doc(hidden)]
+pub fn off_chip_exhaustive_reference(
+    spec: &AppSpec,
+    scbd: &ScbdResult,
+    lib: &MemLibrary,
+) -> Result<(Vec<MemoryInstance>, u64), ExploreError> {
+    let traffic = group_traffic(spec);
+    let time_s = spec.real_time_seconds();
+    let oracle = PortOracle::new(spec, scbd);
+    let (groups, _) = split_accessed_groups(spec, &traffic)?;
+    if groups.is_empty() {
+        return Ok((Vec::new(), 0));
+    }
+    assert!(
+        groups.len() <= 16,
+        "exhaustive reference is test instrumentation for small instances"
+    );
+    if lib.off_chip().parts().is_empty() {
+        return Err(ExploreError::Part(
+            memx_memlib::SelectPartError::EmptyCatalog,
+        ));
+    }
+    let ctx = OffChipCtx {
+        spec,
+        traffic: &traffic,
+        lib,
+        groups: &groups,
+        time_s,
+        floor_suffix: vec![0.0; groups.len() + 1],
+    };
+    let mut pricer = OffChipPricer {
+        ctx: &ctx,
+        oracle,
+        cache: HashMap::new(),
+    };
+    struct Scan<'a, 'b> {
+        pricer: &'a mut OffChipPricer<'b>,
+        n: usize,
+        best: Option<(f64, Vec<u64>)>,
+        partitions: u64,
+    }
+    impl Scan<'_, '_> {
+        fn recurse(&mut self, i: usize, blocks: &mut Vec<u64>) {
+            if i == self.n {
+                self.partitions += 1;
+                let power = self.pricer.committed(blocks);
+                if self.best.as_ref().map(|(p, _)| power < *p).unwrap_or(true) {
+                    self.best = Some((power, blocks.clone()));
+                }
+                return;
+            }
+            let bit = 1u64 << i;
+            for b in 0..blocks.len() {
+                let grown = blocks[b] | bit;
+                if self.pricer.price(grown).is_some() {
+                    let old = blocks[b];
+                    blocks[b] = grown;
+                    self.recurse(i + 1, blocks);
+                    blocks[b] = old;
+                }
+            }
+            if self.pricer.price(bit).is_some() {
+                blocks.push(bit);
+                self.recurse(i + 1, blocks);
+                blocks.pop();
+            }
+        }
+    }
+    let mut scan = Scan {
+        pricer: &mut pricer,
+        n: groups.len(),
         best: None,
         partitions: 0,
     };
-    scan.recurse(0, &mut Vec::new())?;
-    stats.off_chip_partitions += scan.partitions;
+    scan.recurse(0, &mut Vec::new());
+    let partitions = scan.partitions;
     let (_, blocks) = scan
         .best
         .ok_or_else(|| ExploreError::NoFeasibleAssignment {
             reason: "off-chip groups overlap beyond dual-port bandwidth".to_owned(),
         })?;
-    Ok(blocks
+    let mems = blocks
         .iter()
-        .map(|&mask| match &table[mask as usize] {
-            Ok(Some(e)) => e.mem.clone(),
-            _ => unreachable!("winning partition uses only feasible blocks"),
-        })
-        .collect())
-}
-
-/// Canonical set-partition scan over the pre-priced block table: visits
-/// partitions in the same recursion order as a serial enumeration (each
-/// element joins existing blocks in order, then opens a new one) and
-/// keeps the first strict power minimum.
-///
-/// Branches whose growing block is infeasible are pruned — sound because
-/// the port requirement is monotone in the group subset, so every
-/// completion would be skipped anyway. A pricing error surfaces the
-/// first time the scan touches the failing block.
-struct OffChipScan<'a> {
-    table: &'a [Result<Option<OffChipEval>, ExploreError>],
-    n: usize,
-    best: Option<(f64, Vec<u64>)>,
-    partitions: u64,
-}
-
-impl OffChipScan<'_> {
-    fn block_mw(&self, mask: u64) -> f64 {
-        match &self.table[mask as usize] {
-            Ok(Some(e)) => e.mw,
-            _ => unreachable!("scan recurses only through feasible blocks"),
-        }
-    }
-
-    fn recurse(&mut self, i: usize, blocks: &mut Vec<u64>) -> Result<(), ExploreError> {
-        if i == self.n {
-            self.partitions += 1;
-            // Fresh block-order sum: the exact float accumulation a
-            // serial per-partition evaluation performs.
-            let power: f64 = blocks.iter().map(|&m| self.block_mw(m)).sum();
-            if self.best.as_ref().map(|(p, _)| power < *p).unwrap_or(true) {
-                self.best = Some((power, blocks.clone()));
-            }
-            return Ok(());
-        }
-        let bit = 1u64 << i;
-        for b in 0..blocks.len() {
-            let grown = blocks[b] | bit;
-            match &self.table[grown as usize] {
-                Err(e) => return Err(e.clone()),
-                Ok(None) => continue,
-                Ok(Some(_)) => {
-                    let old = blocks[b];
-                    blocks[b] = grown;
-                    self.recurse(i + 1, blocks)?;
-                    blocks[b] = old;
-                }
-            }
-        }
-        match &self.table[bit as usize] {
-            Err(e) => Err(e.clone()),
-            Ok(None) => Ok(()),
-            Ok(Some(_)) => {
-                blocks.push(bit);
-                let r = self.recurse(i + 1, blocks);
-                blocks.pop();
-                r
-            }
-        }
-    }
-}
-
-/// All set partitions of `{0..n}` — kept for tests (the production scan
-/// streams partitions instead of materializing Bell-many vectors).
-#[cfg(test)]
-fn enumerate_partitions(n: usize) -> Vec<Vec<Vec<usize>>> {
-    let mut result = Vec::new();
-    let mut current: Vec<Vec<usize>> = Vec::new();
-    fn recurse(i: usize, n: usize, current: &mut Vec<Vec<usize>>, out: &mut Vec<Vec<Vec<usize>>>) {
-        if i == n {
-            out.push(current.clone());
-            return;
-        }
-        for b in 0..current.len() {
-            current[b].push(i);
-            recurse(i + 1, n, current, out);
-            current[b].pop();
-        }
-        current.push(vec![i]);
-        recurse(i + 1, n, current, out);
-        current.pop();
-    }
-    recurse(0, n, &mut current, &mut result);
-    result
+        .map(|&mask| ctx.build_memory(&mut pricer, mask))
+        .collect();
+    Ok((mems, partitions))
 }
 
 /// Cost of one on-chip memory holding `members`.
@@ -755,9 +1295,10 @@ fn on_chip_memory(
 /// cell area, whatever the module looks like); [`BoundKind::Pairwise`]
 /// additionally mirrors the area model's banking penalty and per-port
 /// area factor, both monotone in the module parameters and therefore
-/// still admissible. (Like the original bound, this reads the default
-/// calibration constants; a custom [`memx_memlib::OnChipModel`] with a
-/// cheaper cell array would need its own floor.)
+/// still admissible. All constants are read from the **active**
+/// [`memx_memlib::OnChipModel`], so a custom technology library with
+/// cheaper cells keeps the bound admissible (and one with dearer cells
+/// prunes just as hard as the built-in model does).
 #[allow(clippy::too_many_arguments)]
 fn group_floor(
     spec: &AppSpec,
@@ -771,16 +1312,16 @@ fn group_floor(
     ports: u32,
     kind: BoundKind,
 ) -> f64 {
-    use memx_memlib::calibration as cal;
+    let model = lib.on_chip();
     let grp = spec.group(g);
     let module = OnChipSpec::new(words, width, ports);
-    let energy = lib.on_chip().energy_pj(&module);
-    let mut cells = cal::ON_CHIP_AREA_PER_BIT_MM2 * grp.words() as f64 * f64::from(width);
+    let energy = model.energy_pj(&module);
+    let mut cells = model.area_per_bit_mm2() * grp.words() as f64 * f64::from(width);
     if kind == BoundKind::Pairwise {
         // The cell array of any module holding these words is banked at
         // least this hard and pays at least this port area factor.
-        let bank = 1.0 + (words as f64 / cal::ON_CHIP_BANK_WORDS).min(2.0);
-        let port_factor = 1.0 + cal::ON_CHIP_PORT_AREA_FACTOR * (f64::from(ports) - 1.0);
+        let bank = 1.0 + (words as f64 / model.bank_words()).min(2.0);
+        let port_factor = 1.0 + model.port_area_factor() * (f64::from(ports) - 1.0);
         cells *= bank * port_factor;
     }
     let mw = energy * traffic[g.index()].total() / time_s / 1e9;
@@ -900,9 +1441,7 @@ impl SuffixBound {
         }
         let per_block = match kind {
             BoundKind::Solo => 0.0,
-            BoundKind::Pairwise => {
-                memx_memlib::calibration::ON_CHIP_MODULE_OVERHEAD_MM2 * options.area_weight
-            }
+            BoundKind::Pairwise => lib.on_chip().module_overhead_mm2() * options.area_weight,
         };
         SuffixBound {
             base,
@@ -1788,24 +2327,75 @@ mod tests {
     }
 
     #[test]
-    fn partition_enumeration_counts_bell_numbers() {
-        assert_eq!(enumerate_partitions(1).len(), 1);
-        assert_eq!(enumerate_partitions(2).len(), 2);
-        assert_eq!(enumerate_partitions(3).len(), 5);
-        assert_eq!(enumerate_partitions(4).len(), 15);
+    fn bell_numbers_match_the_oeis_prefix() {
+        for (n, expect) in [
+            (0u64, 1u64),
+            (1, 1),
+            (2, 2),
+            (3, 5),
+            (4, 15),
+            (5, 52),
+            (6, 203),
+            (12, 4_213_597),
+            (14, 190_899_322),
+        ] {
+            assert_eq!(bell_number(n as usize), expect, "Bell({n})");
+        }
+        // Saturates instead of overflowing for absurd group counts.
+        assert_eq!(bell_number(64), u64::MAX);
     }
 
     #[test]
-    fn off_chip_scan_counts_bell_partitions() {
-        // The streaming scan visits exactly the Bell-number many
-        // partitions the materializing enumeration used to.
+    fn off_chip_search_reports_partition_and_node_counters() {
         let spec = off_heavy_spec();
         let s = scbd::distribute(&spec).unwrap();
         let (_, stats) = assign_with_stats(&spec, &s, &lib(), &AllocOptions::default()).unwrap();
-        // 4 off-chip groups -> at most Bell(4) = 15 partitions (fewer
-        // only if bandwidth prunes some), and at least 1.
+        // 4 off-chip groups -> at most Bell(4) = 15 partitions reached
+        // (fewer when bandwidth or the bound prunes some), at least 1.
         assert!(stats.off_chip_partitions >= 1);
         assert!(stats.off_chip_partitions <= 15, "{stats:?}");
+        assert_eq!(stats.off_chip_exhaustive_partitions, 15, "{stats:?}");
+        assert!(stats.off_chip_bb_nodes >= 1);
+        assert!(
+            stats.off_chip_bb_nodes <= stats.off_chip_exhaustive_partitions,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn off_chip_bb_matches_the_exhaustive_reference() {
+        // The branch-and-bound must return the exhaustive scan's exact
+        // canonical-first optimum — same blocks, same order, same bits.
+        for spec in [off_heavy_spec(), mixed_spec(2_000_000)] {
+            let s = scbd::distribute(&spec).unwrap();
+            let (reference, ref_partitions) =
+                off_chip_exhaustive_reference(&spec, &s, &lib()).unwrap();
+            for workers in [1usize, 2, 8] {
+                let (org, stats) = assign_with_stats(
+                    &spec,
+                    &s,
+                    &lib(),
+                    &AllocOptions {
+                        workers,
+                        ..AllocOptions::default()
+                    },
+                )
+                .unwrap();
+                let off: Vec<&MemoryInstance> = org
+                    .memories
+                    .iter()
+                    .filter(|m| matches!(m.kind, MemoryKind::OffChip(_)))
+                    .collect();
+                assert_eq!(off.len(), reference.len(), "workers={workers}");
+                for (got, want) in off.iter().zip(&reference) {
+                    assert_eq!(*got, want, "workers={workers}");
+                }
+                assert!(
+                    stats.off_chip_partitions <= ref_partitions,
+                    "workers={workers}: {stats:?} vs reference {ref_partitions}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -2141,6 +2731,11 @@ mod tests {
             "workers=1 assignment spawned a thread"
         );
         // Sanity check of the instrument itself: a parallel run spawns.
+        // (The plateau spec guarantees a wide off-chip subtree fan; the
+        // off-heavy spec above collapses to a single subtree now that
+        // the bound prunes the off-chip tree.)
+        let spec = plateau_off_chip_spec();
+        let s = scbd::distribute(&spec).unwrap();
         let before = crate::engine::thread_spawns_on_current_thread();
         assign(
             &spec,
@@ -2155,10 +2750,12 @@ mod tests {
         assert!(crate::engine::thread_spawns_on_current_thread() > before);
     }
 
-    #[test]
-    fn too_many_off_chip_groups_error_is_clean() {
+    /// `count` mutually-compatible off-chip groups (light, non-overlapping
+    /// reads): the workload class the retired exhaustive enumeration
+    /// rejected beyond 12 groups.
+    fn many_off_chip_spec(count: usize) -> AppSpec {
         let mut b = AppSpecBuilder::new("t");
-        let groups: Vec<_> = (0..13)
+        let groups: Vec<_> = (0..count)
             .map(|i| {
                 b.basic_group_placed(format!("f{i}"), 2048, 8, Placement::OffChip)
                     .unwrap()
@@ -2169,18 +2766,220 @@ mod tests {
             b.access(n, g, AccessKind::Read).unwrap();
         }
         b.cycle_budget(100_000);
-        let spec = b.build().unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn thirteen_off_chip_groups_no_longer_rejected() {
+        // The exact instance the retired exhaustive enumeration refused
+        // with `TooManyOffChipGroups` (13 > the old 12-group cap): the
+        // branch-and-bound proves its optimum within the default budget.
+        let spec = many_off_chip_spec(13);
         let s = scbd::distribute(&spec).unwrap();
-        let err = assign(&spec, &s, &lib(), &AllocOptions::default()).unwrap_err();
+        let (org, stats) = assign_with_stats(&spec, &s, &lib(), &AllocOptions::default()).unwrap();
+        assert!(org.off_chip_count() >= 1);
+        assert_eq!(
+            org.memories.iter().map(|m| m.groups.len()).sum::<usize>(),
+            13
+        );
+        assert_eq!(stats.off_chip_exhaustive_partitions, bell_number(13));
+        assert!(
+            stats.off_chip_bb_nodes < bell_number(13),
+            "no pruning: {stats:?}"
+        );
+    }
+
+    /// ≥14 off-chip frame stores whose reads all overlap pairwise twice
+    /// (every group is read twice in parallel): singletons need two
+    /// ports, any co-assignment needs four — so the only feasible
+    /// partition keeps every frame in its own dual-bank memory.
+    fn fourteen_conflicting_frames_spec() -> AppSpec {
+        let mut b = AppSpecBuilder::new("t");
+        let groups: Vec<_> = (0..14)
+            .map(|i| {
+                b.basic_group_placed(format!("frame{i}"), 1 << 18, 8, Placement::OffChip)
+                    .unwrap()
+            })
+            .collect();
+        let sink = b.basic_group("sink", 64, 8).unwrap();
+        let n = b.loop_nest("l", 1_000).unwrap();
+        let w = b.access(n, sink, AccessKind::Write).unwrap();
+        for &g in &groups {
+            // Two independent reads per frame, both feeding the write:
+            // under a tight budget they must overlap each other.
+            let r0 = b.access(n, g, AccessKind::Read).unwrap();
+            let r1 = b.access(n, g, AccessKind::Read).unwrap();
+            b.depend(n, r0, w).unwrap();
+            b.depend(n, r1, w).unwrap();
+        }
+        // Exactly the read->write critical path (4 + 1 cycles per
+        // iteration): every read occupies cycles 0-3, so each frame's
+        // two reads overlap themselves and every other frame's.
+        b.cycle_budget(5_000).real_time_seconds(0.01);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fourteen_off_chip_groups_reach_a_proven_optimum() {
+        // The lifted-limit acceptance scenario: 14 off-chip groups
+        // (Bell(14) ≈ 1.9 x 10^8 — hopeless for the retired exhaustive
+        // scan even without the cap) allocate to a proven optimum, with
+        // identical results for every worker count.
+        let spec = fourteen_conflicting_frames_spec();
+        let s = scbd::distribute(&spec).unwrap();
+        let run = |workers: usize| {
+            assign_with_stats(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    workers,
+                    ..AllocOptions::default()
+                },
+            )
+            .expect("proven optimum, not exhaustion")
+        };
+        let (serial, stats) = run(1);
+        assert_eq!(serial.off_chip_count(), 14, "conflicts force singletons");
+        for m in serial
+            .memories
+            .iter()
+            .filter(|m| matches!(m.kind, MemoryKind::OffChip(_)))
+        {
+            assert_eq!(m.groups.len(), 1);
+            assert_eq!(m.ports, 2, "parallel self-reads need the dual bank");
+        }
+        assert!(
+            stats.off_chip_bb_nodes < bell_number(14),
+            "search must prune, not enumerate: {stats:?}"
+        );
+        for workers in [2usize, 8] {
+            let (parallel, _) = run(workers);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    /// Worst-case plateau: 10 off-chip groups of exactly one 4M-device
+    /// each, so *every* partition prices identically (k merged groups
+    /// need k devices of the same part either way) and the bound cannot
+    /// cut the Bell-number tree down.
+    fn plateau_off_chip_spec() -> AppSpec {
+        let mut b = AppSpecBuilder::new("t");
+        let groups: Vec<_> = (0..10)
+            .map(|i| {
+                b.basic_group_placed(format!("f{i}"), 4 << 20, 8, Placement::OffChip)
+                    .unwrap()
+            })
+            .collect();
+        let n = b.loop_nest("l", 10).unwrap();
+        for &g in &groups {
+            b.access(n, g, AccessKind::Read).unwrap();
+        }
+        b.cycle_budget(100_000);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn off_chip_exhaustion_is_a_deterministic_signal() {
+        // A tie-heavy plateau with a starved node budget: the search
+        // cannot prove an optimum and must say so — with the same error
+        // for every worker count, never a silently unproven
+        // organization.
+        let spec = plateau_off_chip_spec();
+        let s = scbd::distribute(&spec).unwrap();
+        let run = |workers: usize| {
+            assign(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    node_limit: 3,
+                    workers,
+                    ..AllocOptions::default()
+                },
+            )
+        };
+        let serial = run(1);
         assert!(
             matches!(
-                err,
-                ExploreError::TooManyOffChipGroups {
-                    count: 13,
-                    limit: MAX_OFF_CHIP_GROUPS
-                }
+                serial,
+                Err(ExploreError::TooManyOffChipGroups {
+                    count: 10,
+                    node_limit: 3
+                })
             ),
-            "{err}"
+            "{serial:?}"
         );
+        for workers in [2usize, 8] {
+            assert_eq!(
+                run(workers).unwrap_err(),
+                serial.as_ref().unwrap_err().clone(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_model_bounds_follow_the_active_library() {
+        // The pairwise floor must be derived from the *active*
+        // `OnChipModel`: with cheaper cells the bound has to shrink
+        // (reading the default constants would over-prune and lose the
+        // optimum), with dearer cells it has to grow (prune as hard as
+        // the built-in model).
+        use memx_memlib::{OffChipCatalog, OnChipModel};
+        let spec = many_group_spec();
+        let s = scbd::distribute(&spec).unwrap();
+        let options = AllocOptions::default();
+        let scaled_lib = |f: f64| {
+            let m = OnChipModel::default_07um();
+            MemLibrary::new(
+                m.clone()
+                    .with_area_per_bit_mm2(m.area_per_bit_mm2() * f)
+                    .with_module_overhead_mm2(m.module_overhead_mm2() * f),
+                OffChipCatalog::default_edo(),
+            )
+        };
+        let default_lib = lib();
+        for k in 1..=3u32 {
+            let (_, default_bound) = root_lower_bounds(&spec, &s, &default_lib, &options, k)
+                .unwrap()
+                .expect("on-chip groups exist");
+            let (_, cheap) = root_lower_bounds(&spec, &s, &scaled_lib(0.25), &options, k)
+                .unwrap()
+                .expect("on-chip groups exist");
+            let (_, dear) = root_lower_bounds(&spec, &s, &scaled_lib(4.0), &options, k)
+                .unwrap()
+                .expect("on-chip groups exist");
+            assert!(cheap < default_bound, "k={k}: {cheap} !< {default_bound}");
+            assert!(dear > default_bound, "k={k}: {dear} !> {default_bound}");
+        }
+        // Both bounds stay admissible on the cheap library: solo and
+        // pairwise searches agree on the exact optimum.
+        for on_chip_memories in [None, Some(2)] {
+            let cheap = scaled_lib(0.25);
+            let solo = assign(
+                &spec,
+                &s,
+                &cheap,
+                &AllocOptions {
+                    on_chip_memories,
+                    bound: BoundKind::Solo,
+                    ..AllocOptions::default()
+                },
+            )
+            .unwrap();
+            let pairwise = assign(
+                &spec,
+                &s,
+                &cheap,
+                &AllocOptions {
+                    on_chip_memories,
+                    bound: BoundKind::Pairwise,
+                    ..AllocOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(solo, pairwise, "k={on_chip_memories:?}");
+        }
     }
 }

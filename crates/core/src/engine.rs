@@ -185,8 +185,9 @@ impl<'l> Engine<'l> {
         // Phase 2: fan the evaluations. Points whose allocation search is
         // on auto (`workers == 0`) get the pool split between the
         // levels, so a batch does not oversubscribe cores²-style. (The
-        // allocation solver splits its share further between the k-sweep
-        // and each size's subtree search — three cooperating levels in
+        // allocation solver spends its share first on the off-chip
+        // partition subtrees, then splits it between the k-sweep and
+        // each size's subtree search — three cooperating levels in
         // total; see `crate::alloc`.)
         let point_workers = self.workers.min(points.len().max(1));
         let alloc_workers = (self.workers / point_workers).max(1);

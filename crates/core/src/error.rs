@@ -33,15 +33,23 @@ pub enum ExploreError {
         /// Explanation of the infeasibility.
         reason: String,
     },
-    /// The off-chip side of assignment enumerates set partitions
-    /// exhaustively, and partition counts grow as Bell numbers: beyond
-    /// the enumerator's limit the search would be intractable, so it is
-    /// rejected up front instead of running effectively forever.
+    /// The off-chip branch-and-bound could not prove an optimal
+    /// partition of the off-chip groups within its node budget.
+    /// Partition counts grow as Bell numbers, so instances with many
+    /// mutually compatible off-chip groups can outgrow any budget; the
+    /// signal is deterministic (identical for every worker count) and
+    /// the budget is configurable through `AllocOptions::node_limit`
+    /// (the binaries' `MEMX_NODE_LIMIT` knob). Note the budget is split
+    /// evenly over the deterministic search subtrees (unused shares are
+    /// not redistributed — doing so would make truncation depend on
+    /// thread timing), so a skewed tree can raise this signal with much
+    /// of the nominal budget unspent; raising the limit is still the
+    /// right lever, it scales every share.
     TooManyOffChipGroups {
         /// Accessed off-chip groups in the specification.
         count: usize,
-        /// Largest off-chip group count the enumeration accepts.
-        limit: usize,
+        /// The branch-and-bound node budget that was exhausted.
+        node_limit: u64,
     },
     /// Cost weights handed to a ranking or assignment API were not
     /// finite non-negative numbers; comparing scalarized costs built
@@ -73,10 +81,12 @@ impl fmt::Display for ExploreError {
             ExploreError::NoFeasibleAssignment { reason } => {
                 write!(f, "no feasible signal-to-memory assignment: {reason}")
             }
-            ExploreError::TooManyOffChipGroups { count, limit } => write!(
+            ExploreError::TooManyOffChipGroups { count, node_limit } => write!(
                 f,
-                "too many off-chip groups for exhaustive partition enumeration: \
-                 {count} (limit {limit})"
+                "off-chip partition search over {count} groups could not prove \
+                 an optimum within its {node_limit}-node budget, split evenly \
+                 over deterministic search subtrees \
+                 (raise AllocOptions::node_limit / MEMX_NODE_LIMIT)"
             ),
             ExploreError::BadCostWeights {
                 area_weight,
@@ -128,10 +138,11 @@ mod tests {
         assert!(e.to_string().contains("refine"));
         let e = ExploreError::TooManyOffChipGroups {
             count: 20,
-            limit: 12,
+            node_limit: 1_000,
         };
-        assert!(e.to_string().contains("20"));
-        assert!(e.to_string().contains("limit 12"));
+        assert!(e.to_string().contains("20 groups"));
+        assert!(e.to_string().contains("1000-node budget"));
+        assert!(e.to_string().contains("MEMX_NODE_LIMIT"));
         let e = ExploreError::from(BuildSpecError::MissingCycleBudget);
         assert!(e.source().is_some());
     }

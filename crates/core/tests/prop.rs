@@ -1,11 +1,14 @@
 //! Property-based tests on the exploration stages: scheduling and
 //! assignment invariants over random specifications.
 
-use memx_core::alloc::{assign, root_lower_bounds, AllocOptions, BoundKind, MemoryKind};
+use memx_core::alloc::{
+    assign, assign_with_stats, bell_number, off_chip_exhaustive_reference, root_lower_bounds,
+    AllocOptions, BoundKind, MemoryKind,
+};
 use memx_core::explore::pareto_indices;
 use memx_core::{macp, scbd};
 use memx_ir::{AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, Placement};
-use memx_memlib::{CostBreakdown, MemLibrary, OnChipSpec};
+use memx_memlib::{CostBreakdown, MemLibrary, OffChipCatalog, OnChipModel, OnChipSpec};
 use proptest::prelude::*;
 
 /// Random schedulable spec: a few groups (mixed placement), a few nests
@@ -123,6 +126,67 @@ fn arb_onchip_spec() -> impl Strategy<Value = AppSpec> {
                 .sum::<u64>()
                 .max(1);
             b.cycle_budget(budget);
+            b.build().expect("constructed spec is valid")
+        })
+}
+
+/// Off-chip-heavy spec: 2–6 off-chip groups with mixed widths, word
+/// counts and access patterns (plus one on-chip sink), small enough
+/// that the retired exhaustive set-partition scan is a usable ground
+/// truth for the off-chip branch-and-bound.
+fn arb_offchip_spec() -> impl Strategy<Value = AppSpec> {
+    let group = (1u64..2_000_000, 1u32..24);
+    let access = (0usize..8, prop::bool::ANY);
+    let nest = (
+        1u64..100,
+        prop::collection::vec(access, 1..6),
+        prop::bool::ANY,
+    );
+    (
+        prop::collection::vec(group, 2..7),
+        prop::collection::vec(nest, 1..3),
+        // Budget slack factor: 1 forces maximal overlap, 8 none.
+        1u64..9,
+    )
+        .prop_map(|(groups, nests, slack)| {
+            let mut b = AppSpecBuilder::new("prop-offchip");
+            let ids: Vec<BasicGroupId> = groups
+                .iter()
+                .enumerate()
+                .map(|(i, &(words, width))| {
+                    b.basic_group_placed(format!("g{i}"), words, width, Placement::OffChip)
+                        .expect("group params in range")
+                })
+                .collect();
+            let sink = b.basic_group("sink", 64, 8).expect("sink params in range");
+            for (n, (iters, accesses, chain)) in nests.iter().enumerate() {
+                let nid = b.loop_nest(format!("n{n}"), *iters).expect("iters > 0");
+                let mut prev = None;
+                for &(gidx, burst) in accesses {
+                    let a = b
+                        .access_full(nid, ids[gidx % ids.len()], AccessKind::Read, 1.0, burst)
+                        .expect("valid access");
+                    if *chain {
+                        if let Some(p) = prev {
+                            b.depend(nid, p, a).expect("chains are acyclic");
+                        }
+                    }
+                    prev = Some(a);
+                }
+                let w = b
+                    .access(nid, sink, AccessKind::Write)
+                    .expect("valid access");
+                if let Some(p) = prev {
+                    b.depend(nid, p, w).expect("chains are acyclic");
+                }
+            }
+            // Worst access duration is 4 cycles (off-chip random).
+            let budget: u64 = nests
+                .iter()
+                .map(|(iters, accesses, _)| iters * (accesses.len() as u64 + 1) * slack)
+                .sum::<u64>()
+                .max(1);
+            b.cycle_budget(budget * 4);
             b.build().expect("constructed spec is valid")
         })
 }
@@ -411,6 +475,116 @@ proptest! {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn off_chip_bb_matches_the_exhaustive_scan(spec in arb_offchip_spec()) {
+        // The off-chip branch-and-bound must reproduce the retired
+        // exhaustive streaming scan exactly — same optimum, same
+        // canonical-first tie-break, same block order — while expanding
+        // no more nodes than the Bell-number partition space the scan
+        // had to stream through, for every worker count.
+        let lib = MemLibrary::default_07um();
+        let schedule = scbd::distribute(&spec).expect("schedulable");
+        let reference = off_chip_exhaustive_reference(&spec, &schedule, &lib);
+        let n = spec
+            .basic_groups()
+            .iter()
+            .filter(|g| {
+                let (r, w) = spec.total_accesses(g.id());
+                g.placement() == Placement::OffChip && r + w > 0.0
+            })
+            .count();
+        for workers in [1usize, 2, 8] {
+            let result = assign_with_stats(&spec, &schedule, &lib, &AllocOptions {
+                workers,
+                ..AllocOptions::default()
+            });
+            match (&reference, result) {
+                (Ok((want, _)), Ok((org, stats))) => {
+                    let got: Vec<_> = org
+                        .memories
+                        .iter()
+                        .filter(|m| matches!(m.kind, MemoryKind::OffChip(_)))
+                        .collect();
+                    prop_assert_eq!(got.len(), want.len(), "workers={}", workers);
+                    for (g, w) in got.iter().zip(want) {
+                        prop_assert_eq!(*g, w, "workers={}", workers);
+                    }
+                    prop_assert!(
+                        stats.off_chip_bb_nodes <= bell_number(n),
+                        "workers={}: {} nodes > Bell({}) = {}",
+                        workers, stats.off_chip_bb_nodes, n, bell_number(n)
+                    );
+                    prop_assert_eq!(
+                        stats.off_chip_exhaustive_partitions,
+                        bell_number(n),
+                        "workers={}", workers
+                    );
+                }
+                (Err(want), Err(got)) => prop_assert_eq!(&got, want, "workers={}", workers),
+                (want, got) => prop_assert!(
+                    false,
+                    "workers={}: feasibility disagrees ({:?} vs {:?})",
+                    workers, want, got
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn custom_model_search_stays_exact(
+        spec in arb_onchip_spec(),
+        scale_idx in 0usize..4,
+    ) {
+        let scale = [0.25f64, 0.5, 2.0, 4.0][scale_idx];
+        // The pairwise floor is derived from the active OnChipModel: for
+        // any area scaling of the technology library the bound must stay
+        // admissible, i.e. the branch-and-bound still lands on the
+        // exhaustively-enumerated optimum computed with that library.
+        // (Reading the default calibration constants instead — the old
+        // behavior — over-prunes any library with cheaper cells.)
+        let base = OnChipModel::default_07um();
+        let lib = MemLibrary::new(
+            base.clone()
+                .with_area_per_bit_mm2(base.area_per_bit_mm2() * scale)
+                .with_module_overhead_mm2(base.module_overhead_mm2() * scale)
+                .with_port_area_factor(base.port_area_factor() * scale),
+            OffChipCatalog::default_edo(),
+        );
+        let schedule = scbd::distribute(&spec).expect("schedulable");
+        let groups: Vec<BasicGroupId> = spec
+            .basic_groups()
+            .iter()
+            .filter(|g| {
+                let (r, w) = spec.total_accesses(g.id());
+                r + w > 0.0
+            })
+            .map(|g| g.id())
+            .collect();
+        prop_assert!(!groups.is_empty(), "every nest has at least one access");
+        for k in 1..=groups.len() {
+            let optimum = exhaustive_on_chip_optimum(&spec, &schedule, &lib, &groups, k);
+            let result = assign(&spec, &schedule, &lib, &AllocOptions {
+                on_chip_memories: Some(k as u32),
+                ..AllocOptions::default()
+            });
+            match (&optimum, result) {
+                (Some(opt), Ok(org)) => {
+                    let scalar = org.cost.scalar(1.0, 1.0);
+                    prop_assert!(
+                        (scalar - opt).abs() <= opt.abs() * 1e-9 + 1e-9,
+                        "k={} scale={}: search {} vs optimum {}", k, scale, scalar, opt
+                    );
+                }
+                (None, Err(_)) => {}
+                (opt, res) => prop_assert!(
+                    false,
+                    "k={} scale={}: feasibility disagrees ({:?} vs {:?})",
+                    k, scale, opt, res.map(|o| o.cost)
+                ),
             }
         }
     }

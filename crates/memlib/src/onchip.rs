@@ -100,6 +100,83 @@ impl OnChipModel {
         }
     }
 
+    /// Storage-cell area per bit in mm² (before banking and port
+    /// scaling). Exposed so search lower bounds can mirror the *active*
+    /// model instead of assuming the default calibration.
+    pub fn area_per_bit_mm2(&self) -> f64 {
+        self.area_per_bit_mm2
+    }
+
+    /// Word count at which the banking/wire-length area penalty reaches
+    /// +100 % (see [`crate::calibration::ON_CHIP_BANK_WORDS`]).
+    pub fn bank_words(&self) -> f64 {
+        self.bank_words
+    }
+
+    /// Fixed per-module area overhead in mm² (sense amplifiers, control,
+    /// decoder base cost).
+    pub fn module_overhead_mm2(&self) -> f64 {
+        self.module_overhead_mm2
+    }
+
+    /// Decoder/periphery area factor multiplying `sqrt(words)` \[mm²\].
+    pub fn decode_area_mm2(&self) -> f64 {
+        self.decode_area_mm2
+    }
+
+    /// Additional area fraction per extra port.
+    pub fn port_area_factor(&self) -> f64 {
+        self.port_area_factor
+    }
+
+    /// Returns the model with a different storage-cell area per bit —
+    /// the knob a custom (non-0.7 µm) technology library tunes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v` is finite and positive.
+    pub fn with_area_per_bit_mm2(mut self, v: f64) -> Self {
+        assert!(v.is_finite() && v > 0.0, "area per bit must be positive");
+        self.area_per_bit_mm2 = v;
+        self
+    }
+
+    /// Returns the model with a different banking-penalty knee.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v` is finite and positive.
+    pub fn with_bank_words(mut self, v: f64) -> Self {
+        assert!(v.is_finite() && v > 0.0, "bank words must be positive");
+        self.bank_words = v;
+        self
+    }
+
+    /// Returns the model with a different fixed per-module overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v` is finite and positive.
+    pub fn with_module_overhead_mm2(mut self, v: f64) -> Self {
+        assert!(v.is_finite() && v > 0.0, "module overhead must be positive");
+        self.module_overhead_mm2 = v;
+        self
+    }
+
+    /// Returns the model with a different per-port area factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v` is finite and positive.
+    pub fn with_port_area_factor(mut self, v: f64) -> Self {
+        assert!(
+            v.is_finite() && v > 0.0,
+            "port area factor must be positive"
+        );
+        self.port_area_factor = v;
+        self
+    }
+
     /// Silicon area of the generated module in mm², including address
     /// decoding and data buffering overhead (as the vendor estimator of
     /// §3 does), excluding interconnect.
@@ -215,5 +292,49 @@ mod tests {
     #[test]
     fn display_is_compact() {
         assert_eq!(format!("{}", OnChipSpec::new(512, 8, 2)), "512x8b/2p");
+    }
+
+    #[test]
+    fn accessors_expose_the_calibrated_constants() {
+        let m = model();
+        assert_eq!(
+            m.area_per_bit_mm2(),
+            crate::calibration::ON_CHIP_AREA_PER_BIT_MM2
+        );
+        assert_eq!(m.bank_words(), crate::calibration::ON_CHIP_BANK_WORDS);
+        assert_eq!(
+            m.module_overhead_mm2(),
+            crate::calibration::ON_CHIP_MODULE_OVERHEAD_MM2
+        );
+        assert_eq!(
+            m.decode_area_mm2(),
+            crate::calibration::ON_CHIP_DECODE_AREA_MM2
+        );
+        assert_eq!(
+            m.port_area_factor(),
+            crate::calibration::ON_CHIP_PORT_AREA_FACTOR
+        );
+    }
+
+    #[test]
+    fn custom_models_scale_the_area_model() {
+        // A cheaper cell library halves the cell-array contribution; the
+        // area of a cell-dominated module must drop accordingly.
+        let default = model();
+        let cheap = model()
+            .with_area_per_bit_mm2(default.area_per_bit_mm2() * 0.5)
+            .with_module_overhead_mm2(default.module_overhead_mm2() * 0.5)
+            .with_bank_words(default.bank_words() * 2.0)
+            .with_port_area_factor(default.port_area_factor() * 0.5);
+        let spec = OnChipSpec::new(16 * 1024, 16, 2);
+        assert!(cheap.area_mm2(&spec) < default.area_mm2(&spec));
+        // Energy is untouched by the area knobs.
+        assert_eq!(cheap.energy_pj(&spec), default.energy_pj(&spec));
+    }
+
+    #[test]
+    #[should_panic(expected = "area per bit must be positive")]
+    fn non_positive_custom_area_rejected() {
+        model().with_area_per_bit_mm2(0.0);
     }
 }

@@ -15,6 +15,11 @@
 # nodes-visited counters: with an unexhausted budget the node count
 # measures pruning power, and the pairwise-conflict bound must not lose
 # to the solo baseline.
+#
+# The same pinned-serial table4 run also records the *off-chip*
+# branch-and-bound counters: nodes expanded versus the Bell-number
+# partition space the retired exhaustive enumeration had to stream
+# through. scripts/bench_regression.sh gates nodes < exhaustive.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,13 +52,17 @@ run_secs_best() {
     awk -v a="$a" -v b="$b" 'BEGIN { printf "%.3f", (a < b) ? a : b }'
 }
 
-# table4_nodes BOUND -> branch-and-bound nodes from the stderr stats line.
+# table4_stderr BOUND -> the full stderr of a pinned-serial table4 run.
 # Pinned to one worker: parallel runs skip subtrees on thread timing, so
 # only the serial node counters are deterministic enough to gate on.
-table4_nodes() {
+table4_stderr() {
     env MEMX_BOUND="$1" MEMX_NODE_LIMIT="$NODES_LIMIT" MEMX_WORKERS=1 \
-        ./target/release/table4_allocation 2>&1 >/dev/null |
-        sed -n 's/^\[alloc nodes: \([0-9]*\)\]$/\1/p' | head -1
+        ./target/release/table4_allocation 2>&1 >/dev/null
+}
+
+# stat_line STDERR LABEL -> the numeric value of "[LABEL: N]"
+stat_line() {
+    sed -n "s/^\[$2: \([0-9]*\)\]\$/\1/p" <<<"$1" | head -1
 }
 
 cores=$(nproc 2>/dev/null || echo 1)
@@ -76,14 +85,20 @@ speedup=$(awk -v s="$t4_serial" -v p="$t4_parallel" \
 printf 'bench: table4 serial %ss / parallel %ss -> speedup %sx on %s core(s)\n' \
     "$t4_serial" "$t4_parallel" "$speedup" "$cores"
 
-nodes_solo=$(table4_nodes solo)
-nodes_pairwise=$(table4_nodes pairwise)
+stderr_solo=$(table4_stderr solo)
+stderr_pairwise=$(table4_stderr pairwise)
+nodes_solo=$(stat_line "$stderr_solo" "alloc nodes")
+nodes_pairwise=$(stat_line "$stderr_pairwise" "alloc nodes")
+off_nodes=$(stat_line "$stderr_pairwise" "off-chip nodes")
+off_exhaustive=$(stat_line "$stderr_pairwise" "off-chip exhaustive")
 printf 'bench: table4 nodes visited (exact search): solo %s / pairwise %s\n' \
     "$nodes_solo" "$nodes_pairwise"
+printf 'bench: table4 off-chip nodes %s vs exhaustive partitions %s\n' \
+    "$off_nodes" "$off_exhaustive"
 
 cat > "$OUT" << EOF
 {
-  "schema": "memexplore-bench-v2",
+  "schema": "memexplore-bench-v3",
   "generated_unix": $(date +%s),
   "smoke": $smoke,
   "cores": $cores,
@@ -99,6 +114,10 @@ ${entries%,$'\n'}
   "table4_nodes": {
     "solo": $nodes_solo,
     "pairwise": $nodes_pairwise
+  },
+  "table4_off_chip": {
+    "bb_nodes": $off_nodes,
+    "exhaustive_partitions": $off_exhaustive
   }
 }
 EOF

@@ -9,11 +9,18 @@
 #     timer noise, not signal);
 #   * NEW's table4 pairwise-bound node count exceeds the solo baseline
 #     (the pairwise-conflict bound must never prune *less* than the solo
-#     bound it replaced) — checked even without a PREV artifact.
+#     bound it replaced) — checked even without a PREV artifact;
+#   * NEW's table4 off-chip branch-and-bound node count reaches the
+#     Bell-number partition space of the retired exhaustive enumeration
+#     (the search must prune, not enumerate) — also self-contained;
+#   * NEW's off-chip node count exceeds 1.5x PREV's (pruning regressed
+#     against the cached baseline).
 #
 # A missing PREV (first run, expired CI cache) skips the wall-clock
 # comparison with a note instead of failing, so the gate bootstraps
-# itself.
+# itself. A PREV from an older schema (no table4_off_chip block) skips
+# only the off-chip vs-baseline comparison, again with a note — older
+# artifacts must never turn the gate red.
 set -euo pipefail
 
 prev=${1:?usage: bench_regression.sh PREV.json NEW.json}
@@ -51,6 +58,41 @@ if [ -n "$solo" ] && [ -n "$pairwise" ]; then
 else
     echo "bench-regression: FAIL $new lacks table4_nodes counters" >&2
     fail=1
+fi
+
+# --- Off-chip nodes invariant (self-contained). -----------------------
+off_nodes=$(field "$new" bb_nodes)
+off_exhaustive=$(field "$new" exhaustive_partitions)
+if [ -n "$off_nodes" ] && [ -n "$off_exhaustive" ]; then
+    # awk: the exhaustive counter can exceed bash's integer range on
+    # huge off-chip instances (it saturates at 2^64 - 1).
+    verdict=$(awk -v n="$off_nodes" -v e="$off_exhaustive" \
+        'BEGIN { print (n + 0 < e + 0) ? "ok" : "inverted" }')
+    if [ "$verdict" = "inverted" ]; then
+        echo "bench-regression: FAIL off-chip bb nodes $off_nodes >= exhaustive partitions $off_exhaustive" >&2
+        fail=1
+    else
+        echo "bench-regression: off-chip nodes ok ($off_nodes < exhaustive $off_exhaustive)"
+    fi
+else
+    echo "bench-regression: FAIL $new lacks table4_off_chip counters" >&2
+    fail=1
+fi
+
+# --- Off-chip nodes vs the previous artifact. -------------------------
+if [ ! -f "$prev" ]; then
+    : # the wall-clock section below prints the missing-baseline note
+elif prev_off=$(field "$prev" bb_nodes) && [ -n "$prev_off" ]; then
+    verdict=$(awk -v o="$prev_off" -v c="$off_nodes" -v r="$max_ratio" \
+        'BEGIN { print (c + 0 > o * r) ? "regressed" : "ok" }')
+    if [ "$verdict" = "regressed" ]; then
+        echo "bench-regression: FAIL off-chip nodes $off_nodes > ${max_ratio}x previous $prev_off" >&2
+        fail=1
+    else
+        echo "bench-regression: off-chip nodes vs baseline ok ($prev_off -> $off_nodes)"
+    fi
+else
+    echo "bench-regression: previous artifact predates table4_off_chip (older schema); skipping off-chip baseline comparison"
 fi
 
 # --- Wall-clock comparison against the previous artifact. --------------

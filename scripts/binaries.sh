@@ -1,0 +1,16 @@
+# The paper-reproduction binaries every end-to-end script drives.
+# Sourced by scripts/smoke.sh and scripts/determinism_matrix.sh so the
+# two suites can never silently diverge: a new table/figure binary added
+# here is smoke-tested *and* determinism-checked in CI.
+BINARIES=(
+    table1_structuring
+    table2_hierarchy
+    table3_cycle_budget
+    table4_allocation
+    fig1_methodology
+    fig2_structuring_semantics
+    fig3_hierarchy_chain
+    codec_rd_sweep
+    auto_hierarchy
+    ablation_balancing
+)

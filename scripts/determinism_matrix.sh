@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Determinism matrix over the paper-reproduction binaries: runs the
+# whole smoke suite under MEMX_WORKERS in {1, 2, 8} x MEMX_BOUND in
+# {pairwise, solo} and diffs stdout against the fully-serial run of the
+# same bound. The solver's bit-identical-per-worker-count guarantee is
+# thereby enforced end-to-end in CI, not only in unit tests.
+#
+# The two bounds each get their own serial reference: with an exhausted
+# smoke-sized node budget the two (equally admissible) bounds may keep
+# different incumbents, so outputs are only required to be identical
+# *per worker count within a bound* — which is exactly the guarantee
+# the solver makes.
+#
+# Stdout only: stderr carries the worker-count banner and (in parallel
+# runs) timing-dependent node counters, which are documented as
+# non-deterministic.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# shellcheck source=scripts/binaries.sh
+source scripts/binaries.sh
+
+cargo build --release --package memx-bench --bins
+
+export MEMX_SMOKE=1
+outdir=$(mktemp -d)
+trap 'rm -rf "$outdir"' EXIT
+
+status=0
+for bound in pairwise solo; do
+    for workers in 1 2 8; do
+        for bin in "${BINARIES[@]}"; do
+            if ! MEMX_BOUND=$bound MEMX_WORKERS=$workers \
+                "./target/release/$bin" >"$outdir/$bin.$bound.$workers" 2>/dev/null; then
+                echo "determinism: FAIL $bin (bound=$bound workers=$workers) exited non-zero" >&2
+                status=1
+            fi
+        done
+    done
+    for workers in 2 8; do
+        for bin in "${BINARIES[@]}"; do
+            if diff -u "$outdir/$bin.$bound.1" "$outdir/$bin.$bound.$workers" >"$outdir/diff.txt"; then
+                printf 'determinism: %-28s bound=%-8s workers=%s == serial\n' \
+                    "$bin" "$bound" "$workers"
+            else
+                echo "determinism: FAIL $bin (bound=$bound) differs between workers=1 and workers=$workers:" >&2
+                cat "$outdir/diff.txt" >&2
+                status=1
+            fi
+        done
+    done
+done
+exit $status

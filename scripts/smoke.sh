@@ -6,18 +6,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BINARIES=(
-    table1_structuring
-    table2_hierarchy
-    table3_cycle_budget
-    table4_allocation
-    fig1_methodology
-    fig2_structuring_semantics
-    fig3_hierarchy_chain
-    codec_rd_sweep
-    auto_hierarchy
-    ablation_balancing
-)
+# shellcheck source=scripts/binaries.sh
+source scripts/binaries.sh
 
 cargo build --release --package memx-bench --bins
 

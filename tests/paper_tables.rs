@@ -178,6 +178,33 @@ fn paper_tables_match_the_committed_golden_snapshot() {
 }
 
 #[test]
+fn off_chip_branch_and_bound_beats_exhaustive_enumeration_on_table4() {
+    // The off-chip acceptance criterion, pinned as a test: on the
+    // table 4 workload the branch-and-bound must expand strictly fewer
+    // nodes than the Bell-number partition space the retired exhaustive
+    // scan streamed through (while producing the byte-identical golden
+    // tables checked above).
+    let mut ctx = experiments::paper_context();
+    ctx.alloc.workers = 1; // serial: parallel node counters are timing-dependent
+    ctx.workers = 1;
+    let rows = table4(&ctx, &paper_allocations()).expect("table 4 runs");
+    let bb: u64 = rows
+        .iter()
+        .map(|r| r.report.alloc_stats.off_chip_bb_nodes)
+        .sum();
+    let exhaustive: u64 = rows
+        .iter()
+        .map(|r| r.report.alloc_stats.off_chip_exhaustive_partitions)
+        .sum();
+    assert!(exhaustive > 0, "table 4 has off-chip groups");
+    assert!(
+        bb < exhaustive,
+        "off-chip branch-and-bound must beat exhaustive enumeration: \
+         {bb} nodes vs {exhaustive} partitions"
+    );
+}
+
+#[test]
 fn pairwise_bound_prunes_the_table4_workload() {
     // The tentpole's acceptance criterion, pinned as a test: on the
     // table 4 workload, run to exactness, the pairwise-conflict bound
