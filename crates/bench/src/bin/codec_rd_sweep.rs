@@ -74,4 +74,8 @@ fn main() {
             writes / total * 100.0
         );
     }
+    // The codec sweep never schedules, so this always reads 0/0 —
+    // printed anyway (without opening a cache) so every binary's stderr
+    // is uniformly grep-able.
+    experiments::print_cache_stat_line(None);
 }

@@ -6,7 +6,7 @@
 //! the accurate cost feedback at every leaf, plus the chosen path.
 
 use memx_bench::experiments::{self, CYCLE_BUDGET};
-use memx_core::explore::{evaluate, EvaluateOptions};
+use memx_core::explore::{evaluate_with_cache, EvaluateOptions};
 use memx_core::hierarchy::apply_hierarchy;
 use memx_core::structuring::{compact, merge};
 
@@ -71,7 +71,7 @@ fn main() {
                     cycle_budget: Some(CYCLE_BUDGET - extra),
                     alloc: ctx.alloc.clone(),
                 };
-                match evaluate(hspec, &ctx.lib, &options) {
+                match evaluate_with_cache(hspec, &ctx.lib, ctx.cache.as_deref(), &options) {
                     Ok(report) => {
                         evaluated += 1;
                         let scalar = report.cost.scalar(1.0, 1.0);
@@ -94,4 +94,5 @@ fn main() {
     if let Some((label, scalar)) = best {
         println!("Chosen path (min area+power scalar {scalar:.1}): {label}");
     }
+    experiments::print_cache_stat_line(ctx.cache.as_deref());
 }

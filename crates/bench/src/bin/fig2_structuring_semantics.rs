@@ -1,6 +1,7 @@
 //! Regenerates **Figure 2**: basic group compaction (a) and merging (b)
 //! transform semantics, demonstrated on a miniature specification.
 
+use memx_bench::experiments;
 use memx_core::structuring::{compact, merge};
 use memx_ir::{AccessKind, AppSpecBuilder};
 
@@ -53,4 +54,8 @@ fn main() {
         "(b) `wide` and `narrow` merged (array of records)",
         &merged.spec,
     );
+    // This figure never schedules, so the line always reads 0/0 —
+    // printed anyway (without opening a cache) so every binary's stderr
+    // is uniformly grep-able.
+    experiments::print_cache_stat_line(None);
 }

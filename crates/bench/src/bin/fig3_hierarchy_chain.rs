@@ -57,4 +57,5 @@ fn main() {
             );
         }
     }
+    experiments::print_cache_stat_line(ctx.cache.as_deref());
 }

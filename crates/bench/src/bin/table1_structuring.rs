@@ -15,4 +15,5 @@ fn main() {
             std::process::exit(1);
         }
     }
+    experiments::print_cache_stat_line(ctx.cache.as_deref());
 }

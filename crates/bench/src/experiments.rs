@@ -18,8 +18,11 @@
 //! playing the paper's role is the merged `pyr_ridge` group, so the
 //! hierarchy experiments target it (see EXPERIMENTS.md).
 
+use std::sync::Arc;
+
 use memx_btpc::spec::{btpc_app_spec, measure_profile, BtpcSpec};
-use memx_core::alloc::AllocOptions;
+use memx_core::alloc::{AllocOptions, AllocStats};
+use memx_core::cache::EvalCache;
 use memx_core::engine::{DesignPoint, Engine};
 use memx_core::explore::{CostReport, EvaluateOptions, Exploration};
 use memx_core::hierarchy::{apply_hierarchy, HierarchyLayer};
@@ -86,6 +89,30 @@ pub fn env_node_limit() -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Persistent evaluation cache for the reproduction *binaries*: the
+/// `MEMX_CACHE_DIR` environment variable names a directory carried
+/// across runs (unset or empty = no cache, the default). Schedules are
+/// then served from / published to disk (see `memx_core::cache`);
+/// results are bit-identical either way, which
+/// `scripts/cache_roundtrip.sh` and the determinism matrix enforce
+/// end-to-end. An unusable directory prints a warning and degrades to
+/// uncached evaluation rather than failing the run. Library entry
+/// points never read this ambient state; [`paper_context`] is always
+/// uncached.
+pub fn env_cache() -> Option<Arc<EvalCache>> {
+    let dir = std::env::var_os("MEMX_CACHE_DIR")?;
+    if dir.is_empty() {
+        return None;
+    }
+    match EvalCache::open(&dir) {
+        Ok(cache) => Some(Arc::new(cache)),
+        Err(e) => {
+            eprintln!("[scbd cache disabled: {e}]");
+            None
+        }
+    }
+}
+
 /// Branch-and-bound lower-bound override for the reproduction
 /// *binaries*: `MEMX_BOUND=solo` falls back to the original solo-1-port
 /// suffix bound, anything else (or unset) uses the pairwise-conflict
@@ -109,18 +136,40 @@ pub fn env_bound() -> memx_core::alloc::BoundKind {
 /// label tweak applied to one binary but not the other would leave the
 /// bench JSON with empty fields.
 pub fn print_alloc_stat_lines<'a>(reports: impl IntoIterator<Item = &'a CostReport>) {
+    print_alloc_stat_lines_from_stats(reports.into_iter().map(|r| r.alloc_stats));
+}
+
+/// [`print_alloc_stat_lines`] over bare [`AllocStats`] values — what the
+/// streaming table binaries accumulate (stats are `Copy`, so a row's
+/// counters outlive the report it came from).
+pub fn print_alloc_stat_lines_from_stats(stats: impl IntoIterator<Item = AllocStats>) {
     let mut nodes = 0u64;
     let mut off_nodes = 0u64;
     let mut off_exhaustive = 0u64;
-    for r in reports {
-        nodes += r.alloc_stats.bb_nodes;
-        off_nodes += r.alloc_stats.off_chip_bb_nodes;
-        off_exhaustive =
-            off_exhaustive.saturating_add(r.alloc_stats.off_chip_exhaustive_partitions);
+    for s in stats {
+        nodes += s.bb_nodes;
+        off_nodes += s.off_chip_bb_nodes;
+        off_exhaustive = off_exhaustive.saturating_add(s.off_chip_exhaustive_partitions);
     }
     eprintln!("[alloc nodes: {nodes}]");
     eprintln!("[off-chip nodes: {off_nodes}]");
     eprintln!("[off-chip exhaustive: {off_exhaustive}]");
+}
+
+/// Prints a binary's persistent-cache counters on stderr — the
+/// `[scbd cache: H hits / M misses]` line `scripts/bench_baseline.sh`
+/// and `scripts/cache_roundtrip.sh` grep. One owner for the label
+/// format, same rationale as [`print_alloc_stat_lines`]. Binaries
+/// running uncached (no `MEMX_CACHE_DIR`) report `0 hits / 0 misses`,
+/// keeping the line grep-able in every mode.
+pub fn print_cache_stat_line(cache: Option<&EvalCache>) {
+    let (hits, misses) = cache
+        .map(|c| {
+            let stats = c.stats();
+            (stats.scbd_hits, stats.scbd_misses)
+        })
+        .unwrap_or((0, 0));
+    eprintln!("[scbd cache: {hits} hits / {misses} misses]");
 }
 
 /// Everything the experiments share: the profiled spec, the technology
@@ -137,6 +186,10 @@ pub struct PaperContext {
     /// Engine worker-pool size (`0` = one per core). Results are
     /// bit-identical for every value; only wall-clock changes.
     pub workers: usize,
+    /// Persistent evaluation cache ([`context`] wires `MEMX_CACHE_DIR`
+    /// here; [`paper_context`] leaves it `None`). Results are
+    /// bit-identical with or without it.
+    pub cache: Option<Arc<EvalCache>>,
 }
 
 impl PaperContext {
@@ -149,9 +202,10 @@ impl PaperContext {
         }
     }
 
-    /// The exploration engine every table fans its design points over.
+    /// The exploration engine every table fans its design points over
+    /// (persistent cache attached when the context carries one).
     pub fn engine(&self) -> Engine<'_> {
-        Engine::with_workers(&self.lib, self.workers)
+        Engine::with_workers(&self.lib, self.workers).with_eval_cache(self.cache.clone())
     }
 }
 
@@ -191,6 +245,7 @@ pub fn context() -> PaperContext {
     };
     PaperContext {
         workers,
+        cache: env_cache(),
         ..context_with(frame, alloc)
     }
 }
@@ -204,6 +259,7 @@ fn context_with(frame: usize, alloc: AllocOptions) -> PaperContext {
         lib: MemLibrary::default_07um(),
         alloc,
         workers: 0,
+        cache: None,
     }
 }
 
@@ -298,9 +354,31 @@ pub struct BudgetRow {
 ///
 /// # Errors
 ///
-/// Propagates pipeline errors; a too-tight budget surfaces as
-/// [`ExploreError::BudgetTooTight`].
+/// Propagates pipeline errors; a too-tight budget is not one — it stops
+/// the sweep at that row (the returned rows are the feasible prefix),
+/// exactly as [`table3_stream`] documents.
 pub fn table3(ctx: &PaperContext, extras: &[u64]) -> Result<Vec<BudgetRow>, ExploreError> {
+    let mut rows = Vec::new();
+    table3_stream(ctx, extras, |row| rows.push(row))?;
+    Ok(rows)
+}
+
+/// Streaming Table 3: `on_row` receives each [`BudgetRow`] in sweep
+/// order as soon as it (and its predecessors) complete, so a caller
+/// printing rows holds one report alive instead of the whole sweep
+/// (reports carry full schedules; see
+/// [`Engine::evaluate_stream`](memx_core::engine::Engine::evaluate_stream)
+/// for the exact residency guarantees per worker count).
+///
+/// # Errors
+///
+/// Propagates pipeline errors; a too-tight budget stops the sweep at
+/// that row (like the designer would) without being an error.
+pub fn table3_stream(
+    ctx: &PaperContext,
+    extras: &[u64],
+    mut on_row: impl FnMut(BudgetRow),
+) -> Result<(), ExploreError> {
     let spec = best_hierarchy_spec(ctx)?;
     let points: Vec<DesignPoint> = extras
         .iter()
@@ -315,21 +393,28 @@ pub fn table3(ctx: &PaperContext, extras: &[u64]) -> Result<Vec<BudgetRow>, Expl
             )
         })
         .collect();
-    let mut rows = Vec::new();
-    for (result, &extra) in ctx.engine().evaluate_many(&points).into_iter().zip(extras) {
+    let mut stopped = false;
+    let mut failure: Option<ExploreError> = None;
+    ctx.engine().evaluate_stream(&points, |i, result| {
+        if stopped || failure.is_some() {
+            return;
+        }
         match result {
-            Ok(report) => rows.push(BudgetRow {
-                extra_cycles: extra,
-                extra_fraction: extra as f64 / CYCLE_BUDGET as f64,
+            Ok(report) => on_row(BudgetRow {
+                extra_cycles: extras[i],
+                extra_fraction: extras[i] as f64 / CYCLE_BUDGET as f64,
                 report,
             }),
             // Beyond the memory-access critical path no schedule exists:
             // the sweep simply stops there, like the designer would.
-            Err(ExploreError::BudgetTooTight { .. }) => break,
-            Err(e) => return Err(e),
+            Err(ExploreError::BudgetTooTight { .. }) => stopped = true,
+            Err(e) => failure = Some(e),
         }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    Ok(rows)
 }
 
 /// The paper's Table-3 sweep points.
@@ -349,10 +434,24 @@ pub fn paper_extras() -> Vec<u64> {
 ///
 /// Propagates scheduling errors.
 pub fn on_chip_crossover_extra(spec: &AppSpec) -> Result<u64, ExploreError> {
+    on_chip_crossover_extra_cached(spec, None)
+}
+
+/// [`on_chip_crossover_extra`] with the persistent cache threaded
+/// through: the crossover probe distributes dozens of budgets, all of
+/// which a warm cache serves from disk.
+///
+/// # Errors
+///
+/// Propagates scheduling errors.
+pub fn on_chip_crossover_extra_cached(
+    spec: &AppSpec,
+    cache: Option<&EvalCache>,
+) -> Result<u64, ExploreError> {
     let step = CYCLE_BUDGET / 100;
     let mut last_free = 0;
     for extra in (0..CYCLE_BUDGET * 2 / 5).step_by(step as usize) {
-        match memx_core::scbd::distribute_with_budget(spec, CYCLE_BUDGET - extra) {
+        match memx_core::cache::distribute_cached(spec, CYCLE_BUDGET - extra, cache) {
             Ok(result) => {
                 let forced_multiport = spec.basic_groups().iter().any(|g| {
                     g.placement() != memx_ir::Placement::OffChip
@@ -376,7 +475,7 @@ pub fn on_chip_crossover_extra(spec: &AppSpec) -> Result<u64, ExploreError> {
 /// EXPERIMENTS.md).
 pub fn extended_extras(ctx: &PaperContext) -> Result<Vec<u64>, ExploreError> {
     let spec = best_hierarchy_spec(ctx)?;
-    let crossover = on_chip_crossover_extra(&spec)?;
+    let crossover = on_chip_crossover_extra_cached(&spec, ctx.cache.as_deref())?;
     let mut extras = paper_extras();
     for delta in [-2i64, 0, 2, 4, 6, 8, 10] {
         let extra = crossover as i64 + delta * (CYCLE_BUDGET / 100) as i64;
@@ -408,6 +507,24 @@ pub struct AllocationRow {
 ///
 /// Propagates pipeline errors.
 pub fn table4(ctx: &PaperContext, counts: &[u32]) -> Result<Vec<AllocationRow>, ExploreError> {
+    let mut rows = Vec::new();
+    table4_stream(ctx, counts, |row| rows.push(row))?;
+    Ok(rows)
+}
+
+/// Streaming Table 4: `on_row` receives each [`AllocationRow`] in sweep
+/// order as it completes (see [`table3_stream`] for why streaming
+/// matters on large sweeps).
+///
+/// # Errors
+///
+/// Propagates the first (by sweep order) failing point's error; rows
+/// before it are still delivered.
+pub fn table4_stream(
+    ctx: &PaperContext,
+    counts: &[u32],
+    mut on_row: impl FnMut(AllocationRow),
+) -> Result<(), ExploreError> {
     let spec = best_hierarchy_spec(ctx)?;
     let budget = CYCLE_BUDGET - 3_133_568; // the paper's 15.7 % working point
                                            // Every point shares (spec, budget): the engine schedules once and
@@ -428,14 +545,23 @@ pub fn table4(ctx: &PaperContext, counts: &[u32]) -> Result<Vec<AllocationRow>, 
             )
         })
         .collect();
-    let mut rows = Vec::new();
-    for (result, &k) in ctx.engine().evaluate_many(&points).into_iter().zip(counts) {
-        rows.push(AllocationRow {
-            memories: k,
-            report: result?,
-        });
+    let mut failure: Option<ExploreError> = None;
+    ctx.engine().evaluate_stream(&points, |i, result| {
+        if failure.is_some() {
+            return;
+        }
+        match result {
+            Ok(report) => on_row(AllocationRow {
+                memories: counts[i],
+                report,
+            }),
+            Err(e) => failure = Some(e),
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
-    Ok(rows)
 }
 
 /// The paper's Table-4 allocation counts.

@@ -1,0 +1,854 @@
+//! Persistent, disk-backed evaluation cache.
+//!
+//! The engine memoizes storage-cycle-budget distributions per batch (see
+//! [`crate::engine`]), but every binary run and every CI job used to
+//! recompute identical schedules from scratch. This module makes the
+//! memoization *durable*: a content-addressed store under a cache
+//! directory, carried across processes (and, via the CI cache, across
+//! whole workflow runs), turning the table/figure suite incremental.
+//!
+//! # Keying
+//!
+//! An entry is addressed by a [`CacheKey`]:
+//!
+//! * the specification's [`AppSpec::content_hash`] (every field that
+//!   influences scheduling),
+//! * the cycle budget the schedule was distributed for,
+//! * a **model fingerprint** — a stable hash over the access-timing
+//!   constants and the scheduler's pressure weights, so recalibrating
+//!   the technology model or the balancing heuristic invalidates every
+//!   stale entry by construction (the key changes, old entries simply
+//!   stop being found),
+//! * a **knobs fingerprint** for solver options (currently the SCBD
+//!   algorithm revision; the distribution stage has no runtime knobs —
+//!   allocation options do not influence the schedule).
+//!
+//! # Format and robustness
+//!
+//! Entries are small binary files: a magic/version header, the full key
+//! echoed back (so a 64-bit filename collision can never serve the
+//! wrong schedule), a length-prefixed payload and an FNV-1a checksum.
+//! Writes go through a tempfile in the same directory followed by an
+//! atomic rename, so concurrent writers (two processes racing on the
+//! same key) each publish a complete entry and readers never observe a
+//! torn file. Reads are corruption-tolerant by design: *any* anomaly —
+//! truncation, a wrong version, a checksum mismatch, a key echo that
+//! does not match — degrades to a silent recompute, never an error.
+//! Derived data (the sparse occupancy table) is always rebuilt from the
+//! serialized placements rather than trusted from disk.
+//!
+//! Cache hits are bit-identical to recomputation: every field round
+//! trips exactly (integers verbatim, floats by bit pattern), which is
+//! what lets CI diff cached against uncached runs byte for byte.
+//!
+//! # Example
+//!
+//! ```
+//! use memx_core::cache::EvalCache;
+//! use memx_ir::{AccessKind, AppSpecBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = AppSpecBuilder::new("demo");
+//! let g = b.basic_group("g", 64, 8)?;
+//! let n = b.loop_nest("l", 100)?;
+//! b.access(n, g, AccessKind::Read)?;
+//! b.cycle_budget(10_000);
+//! let spec = b.build()?;
+//!
+//! let dir = std::env::temp_dir().join("memx-cache-doc");
+//! let cache = EvalCache::open(&dir)?;
+//! let cold = cache.distribute(&spec, 10_000)?; // computes, then stores
+//! let warm = cache.distribute(&spec, 10_000)?; // served from disk
+//! assert_eq!(cold.total_budget, warm.total_budget);
+//! assert!(cache.stats().scbd_hits >= 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use memx_ir::hash::StableHasher;
+use memx_ir::{AppSpec, BasicGroupId, LoopNestId};
+use memx_memlib::timing;
+
+use crate::scbd::{self, BodySchedule, Occupant, PlacedAccess, ScbdResult};
+use crate::ExploreError;
+
+/// Magic bytes every cache entry starts with.
+const MAGIC: &[u8; 8] = b"MEMXEVC\0";
+/// On-disk format version. Bump on any layout change: old entries are
+/// then unreadable and silently recomputed.
+const FORMAT_VERSION: u32 = 1;
+/// Entry kind tag for SCBD schedules (room for future kinds, e.g.
+/// priced off-chip block catalogs).
+const KIND_SCBD: u32 = 1;
+/// Revision of the SCBD algorithm itself. Folded into the knobs
+/// fingerprint: an algorithm change produces different schedules, so it
+/// must miss all old entries.
+///
+/// **Bump this on any schedule-affecting code change** in
+/// `core::scbd` (balancing/placement/grant logic) or `core::macp`
+/// (access durations, critical paths). Numeric tunables — the pressure
+/// weights, the grant lookahead, the timing constants — are hashed
+/// directly into the fingerprints and need no manual bump; *structural*
+/// changes are what this revision exists for. The backstop for a
+/// forgotten bump is CI's `cache_roundtrip.sh`, which diffs runs served
+/// from the cross-commit carried cache against an uncached reference
+/// run of the current binaries.
+const SCBD_ALGO_REVISION: u64 = 1;
+
+/// Stable fingerprint of everything *besides the spec and budget* that
+/// determines a storage-cycle-budget distribution: the access-timing
+/// constants of the technology model and the scheduler's pressure
+/// weights. Recalibrating any of them changes this fingerprint and
+/// thereby the [`CacheKey`] — stale entries are never even looked at.
+pub fn scbd_model_fingerprint() -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("scbd-model");
+    h.write_u64(timing::ON_CHIP_CYCLES);
+    h.write_u64(timing::OFF_CHIP_RANDOM_CYCLES);
+    h.write_u64(timing::OFF_CHIP_BURST_CYCLES);
+    h.write_f64(scbd::SAME_GROUP_COST);
+    h.write_f64(scbd::OFF_CHIP_PAIR_COST);
+    h.write_f64(scbd::ON_CHIP_PAIR_COST);
+    h.write_f64(scbd::MIXED_PAIR_COST);
+    h.finish()
+}
+
+/// The full content address of one cache entry (see the module docs).
+///
+/// The key is stored inside the entry and compared on read, so a
+/// filename collision between two distinct keys degrades to a miss
+/// instead of serving the wrong payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey {
+    /// [`AppSpec::content_hash`] of the scheduled specification.
+    pub content_hash: u64,
+    /// The cycle budget the schedule distributes.
+    pub budget: u64,
+    /// [`scbd_model_fingerprint`] at write time.
+    pub model_fingerprint: u64,
+    /// Solver-knob fingerprint (SCBD algorithm revision).
+    pub knobs_fingerprint: u64,
+}
+
+impl CacheKey {
+    /// The key under which `spec`'s distribution at `budget` is stored,
+    /// using the current model and knob fingerprints.
+    pub fn scbd(spec: &AppSpec, budget: u64) -> Self {
+        let mut knobs = StableHasher::new();
+        knobs.write_str("scbd-knobs");
+        knobs.write_u64(SCBD_ALGO_REVISION);
+        knobs.write_u64(scbd::GRANT_LOOKAHEAD);
+        CacheKey {
+            content_hash: spec.content_hash(),
+            budget,
+            model_fingerprint: scbd_model_fingerprint(),
+            knobs_fingerprint: knobs.finish(),
+        }
+    }
+
+    /// The entry filename (16 hex digits) this key addresses.
+    fn file_name(&self, kind: u32) -> String {
+        let mut h = StableHasher::new();
+        h.write_u64(u64::from(kind));
+        h.write_u64(self.content_hash);
+        h.write_u64(self.budget);
+        h.write_u64(self.model_fingerprint);
+        h.write_u64(self.knobs_fingerprint);
+        format!("{:016x}.bin", h.finish())
+    }
+}
+
+/// Counter snapshot of one [`EvalCache`] — the cache analogue of
+/// [`crate::alloc::AllocStats`]: telemetry, not part of any result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Schedules served from disk.
+    pub scbd_hits: u64,
+    /// Schedules recomputed (absent, stale-keyed or corrupt entries).
+    pub scbd_misses: u64,
+    /// Entry writes that failed (full disk, permissions). Failures are
+    /// never fatal — the result was already computed — but a persistently
+    /// failing cache directory is worth surfacing.
+    pub write_failures: u64,
+}
+
+/// Errors opening a cache directory.
+///
+/// Only [`EvalCache::open`] returns errors: once a cache is open, every
+/// read anomaly degrades to a recompute and every write failure to a
+/// counter tick, so evaluation itself can never fail *because of* the
+/// cache.
+#[derive(Debug)]
+pub enum CacheError {
+    /// The cache directory could not be created or is not writable.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io { path, source } => {
+                write!(f, "cache directory {} unusable: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl Error for CacheError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CacheError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+/// A disk-backed, content-addressed store for evaluation intermediates
+/// (see the module docs).
+///
+/// The handle is cheap to share (`Arc<EvalCache>`) and safe to use from
+/// any number of threads; the counters are atomic and the on-disk
+/// protocol tolerates concurrent writers across processes.
+#[derive(Debug)]
+pub struct EvalCache {
+    root: PathBuf,
+    scbd_hits: AtomicU64,
+    scbd_misses: AtomicU64,
+    write_failures: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl EvalCache {
+    /// Opens (creating if necessary) the cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::Io`] when the directory cannot be created —
+    /// the only cache failure that surfaces as an error; everything
+    /// after `open` degrades silently (see the module docs).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, CacheError> {
+        let root = dir.as_ref().to_path_buf();
+        let scbd_dir = root.join("scbd");
+        fs::create_dir_all(&scbd_dir).map_err(|source| CacheError::Io {
+            path: scbd_dir.clone(),
+            source,
+        })?;
+        Ok(EvalCache {
+            root,
+            scbd_hits: AtomicU64::new(0),
+            scbd_misses: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// A snapshot of the hit/miss/write-failure counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            scbd_hits: self.scbd_hits.load(Ordering::Relaxed),
+            scbd_misses: self.scbd_misses.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Distributes `spec`'s storage cycle budget like
+    /// [`scbd::distribute_with_budget`], serving the result from disk
+    /// when a valid entry exists and storing it otherwise. Hits are
+    /// bit-identical to recomputation.
+    ///
+    /// Errors ([`ExploreError::BudgetTooTight`]) are never cached: they
+    /// are cheap to rediscover and a budget that fails today may be
+    /// retried under a changed spec tomorrow.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`scbd::distribute_with_budget`]; the cache
+    /// itself never fails an evaluation.
+    pub fn distribute(&self, spec: &AppSpec, budget: u64) -> Result<ScbdResult, ExploreError> {
+        let key = CacheKey::scbd(spec, budget);
+        if let Some(result) = self.load_scbd(&key) {
+            self.scbd_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(result);
+        }
+        let result = scbd::distribute_with_budget(spec, budget)?;
+        self.scbd_misses.fetch_add(1, Ordering::Relaxed);
+        self.store_scbd(&key, &result);
+        Ok(result)
+    }
+
+    /// Reads the entry addressed by `key`, or `None` on absence *or any
+    /// corruption* (truncation, bad magic/version/checksum, key-echo
+    /// mismatch). Does not touch the hit/miss counters — the policy
+    /// layer ([`EvalCache::distribute`]) owns those.
+    pub fn load_scbd(&self, key: &CacheKey) -> Option<ScbdResult> {
+        let path = self.scbd_path(key);
+        let bytes = fs::read(path).ok()?;
+        decode_entry(&bytes, key)
+    }
+
+    /// Publishes `result` under `key` via tempfile + atomic rename.
+    /// Failures tick [`CacheStats::write_failures`] and are otherwise
+    /// ignored — the caller already holds the computed result.
+    pub fn store_scbd(&self, key: &CacheKey, result: &ScbdResult) {
+        let bytes = encode_entry(key, result);
+        let path = self.scbd_path(key);
+        if self.write_atomically(&path, &bytes).is_none() {
+            self.write_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn scbd_path(&self, key: &CacheKey) -> PathBuf {
+        self.root.join("scbd").join(key.file_name(KIND_SCBD))
+    }
+
+    /// Tempfile-then-rename publication; `None` on any I/O failure.
+    fn write_atomically(&self, path: &Path, bytes: &[u8]) -> Option<()> {
+        let dir = path.parent()?;
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(
+            ".{}.{}.{seq}.tmp",
+            path.file_name()?.to_str()?,
+            std::process::id()
+        ));
+        let publish = (|| {
+            let mut f = fs::File::create(&tmp).ok()?;
+            f.write_all(bytes).ok()?;
+            drop(f);
+            fs::rename(&tmp, path).ok()
+        })();
+        if publish.is_none() {
+            fs::remove_file(&tmp).ok();
+        }
+        publish
+    }
+}
+
+/// Distributes via `cache` when one is configured, directly otherwise —
+/// the single seam every cache-aware caller goes through (the engine's
+/// batch phase, [`crate::explore::evaluate_with_cache`], binaries).
+///
+/// # Errors
+///
+/// Exactly those of [`scbd::distribute_with_budget`].
+pub fn distribute_cached(
+    spec: &AppSpec,
+    budget: u64,
+    cache: Option<&EvalCache>,
+) -> Result<ScbdResult, ExploreError> {
+    match cache {
+        Some(cache) => cache.distribute(spec, budget),
+        None => scbd::distribute_with_budget(spec, budget),
+    }
+}
+
+// --- binary entry format -------------------------------------------------
+
+fn encode_entry(key: &CacheKey, result: &ScbdResult) -> Vec<u8> {
+    let payload = encode_scbd(result);
+    let mut checksum = StableHasher::new();
+    checksum.write_bytes(&payload);
+
+    let mut out = Vec::with_capacity(payload.len() + 64);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&KIND_SCBD.to_le_bytes());
+    out.extend_from_slice(&key.content_hash.to_le_bytes());
+    out.extend_from_slice(&key.budget.to_le_bytes());
+    out.extend_from_slice(&key.model_fingerprint.to_le_bytes());
+    out.extend_from_slice(&key.knobs_fingerprint.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum.finish().to_le_bytes());
+    out
+}
+
+fn decode_entry(bytes: &[u8], key: &CacheKey) -> Option<ScbdResult> {
+    let mut r = Reader::new(bytes);
+    if r.take(MAGIC.len())? != MAGIC.as_slice() {
+        return None;
+    }
+    if r.u32()? != FORMAT_VERSION || r.u32()? != KIND_SCBD {
+        return None;
+    }
+    let echoed = CacheKey {
+        content_hash: r.u64()?,
+        budget: r.u64()?,
+        model_fingerprint: r.u64()?,
+        knobs_fingerprint: r.u64()?,
+    };
+    if echoed != *key {
+        return None;
+    }
+    let len = usize::try_from(r.u64()?).ok()?;
+    let payload = r.take(len)?;
+    let mut checksum = StableHasher::new();
+    checksum.write_bytes(payload);
+    if r.u64()? != checksum.finish() || !r.at_end() {
+        return None;
+    }
+    decode_scbd(payload)
+}
+
+fn encode_scbd(result: &ScbdResult) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u64(&mut out, result.bodies.len() as u64);
+    for body in &result.bodies {
+        push_u64(&mut out, body.nest.index() as u64);
+        push_str(&mut out, &body.name);
+        push_u64(&mut out, body.iterations);
+        push_u64(&mut out, body.budget);
+        push_u64(&mut out, body.placements().len() as u64);
+        for p in body.placements() {
+            push_u64(&mut out, p.occupant.group.index() as u64);
+            out.push(u8::from(p.occupant.off_chip));
+            push_u64(&mut out, p.start);
+            push_u64(&mut out, p.duration);
+        }
+    }
+    push_u64(&mut out, result.used_cycles);
+    push_u64(&mut out, result.total_budget);
+    out
+}
+
+/// Minimum encoded bytes per body record (empty name, no placements):
+/// nest + name length + iterations + budget + placement count.
+const MIN_BODY_BYTES: usize = 5 * 8;
+/// Minimum encoded bytes per placement record: group + off-chip flag +
+/// start + duration.
+const MIN_PLACEMENT_BYTES: usize = 8 + 1 + 8 + 8;
+
+fn decode_scbd(payload: &[u8]) -> Option<ScbdResult> {
+    let mut r = Reader::new(payload);
+    let body_count = r.count_prefix(MIN_BODY_BYTES)?;
+    let mut bodies = Vec::with_capacity(body_count);
+    for _ in 0..body_count {
+        let nest = LoopNestId::from_index(usize::try_from(r.u64()?).ok()?);
+        let name = r.string()?;
+        let iterations = r.u64()?;
+        let budget = r.u64()?;
+        let placement_count = r.count_prefix(MIN_PLACEMENT_BYTES)?;
+        let mut placements = Vec::with_capacity(placement_count);
+        for _ in 0..placement_count {
+            let group = BasicGroupId::from_index(usize::try_from(r.u64()?).ok()?);
+            let off_chip = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            let start = r.u64()?;
+            let duration = r.u64()?;
+            placements.push(PlacedAccess {
+                occupant: Occupant { group, off_chip },
+                start,
+                duration,
+            });
+        }
+        // The sparse occupancy table is *derived* state: always rebuilt
+        // from the placements, never read from disk.
+        bodies.push(BodySchedule::new(
+            nest, name, iterations, budget, placements,
+        ));
+    }
+    let used_cycles = r.u64()?;
+    let total_budget = r.u64()?;
+    if !r.at_end() {
+        return None;
+    }
+    Some(ScbdResult {
+        bodies,
+        used_cycles,
+        total_budget,
+    })
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian reader: every short read is a `None`,
+/// which the entry decoder turns into a silent cache miss.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Sanity cap on length prefixes, so a corrupt length cannot ask for
+    /// a multi-gigabyte allocation before the bounds check catches it.
+    const MAX_LEN: u64 = 1 << 32;
+
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// A length prefix, rejected when absurd (see [`Self::MAX_LEN`]).
+    fn len_prefix(&mut self) -> Option<usize> {
+        let v = self.u64()?;
+        if v > Self::MAX_LEN {
+            return None;
+        }
+        usize::try_from(v).ok()
+    }
+
+    /// A record-count prefix, rejected when the remaining payload
+    /// cannot possibly hold that many records of at least
+    /// `min_record_bytes` each. This bounds every `Vec::with_capacity`
+    /// the decoder performs by the actual entry size, so even a
+    /// checksum-consistent corrupt count cannot request a giant
+    /// allocation — it reads as a miss like every other anomaly.
+    fn count_prefix(&mut self, min_record_bytes: usize) -> Option<usize> {
+        let v = self.len_prefix()?;
+        if v > self.remaining() / min_record_bytes {
+            return None;
+        }
+        Some(v)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.len_prefix()?;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memx_ir::{AccessKind, AppSpecBuilder, Placement};
+
+    fn spec() -> AppSpec {
+        let mut b = AppSpecBuilder::new("cache-test");
+        let x = b.basic_group("x", 64, 8).unwrap();
+        let y = b.basic_group("y", 64, 8).unwrap();
+        let far = b
+            .basic_group_placed("far", 1 << 16, 16, Placement::OffChip)
+            .unwrap();
+        let n = b.loop_nest("l", 100).unwrap();
+        let rx = b.access(n, x, AccessKind::Read).unwrap();
+        let ry = b.access(n, y, AccessKind::Read).unwrap();
+        let rf = b.access_full(n, far, AccessKind::Read, 0.5, true).unwrap();
+        let w = b.access(n, x, AccessKind::Write).unwrap();
+        b.depend(n, rx, w).unwrap();
+        b.depend(n, ry, w).unwrap();
+        b.depend(n, rf, w).unwrap();
+        b.cycle_budget(10_000);
+        b.build().unwrap()
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "memx-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn assert_same(a: &ScbdResult, b: &ScbdResult) {
+        assert_eq!(a.used_cycles, b.used_cycles);
+        assert_eq!(a.total_budget, b.total_budget);
+        assert_eq!(a.bodies.len(), b.bodies.len());
+        for (x, y) in a.bodies.iter().zip(&b.bodies) {
+            assert_eq!(x.nest, y.nest);
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.iterations, y.iterations);
+            assert_eq!(x.budget, y.budget);
+            assert_eq!(x.placements(), y.placements());
+            assert_eq!(x.busy_slots(), y.busy_slots());
+            assert_eq!(x.pressure().to_bits(), y.pressure().to_bits());
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let dir = tempdir("roundtrip");
+        let cache = EvalCache::open(&dir).unwrap();
+        let spec = spec();
+        let direct = scbd::distribute_with_budget(&spec, 10_000).unwrap();
+        let cold = cache.distribute(&spec, 10_000).unwrap();
+        let warm = cache.distribute(&spec, 10_000).unwrap();
+        assert_same(&direct, &cold);
+        assert_same(&direct, &warm);
+        let stats = cache.stats();
+        assert_eq!((stats.scbd_hits, stats.scbd_misses), (1, 1));
+        assert_eq!(stats.write_failures, 0);
+        // A second handle on the same directory hits immediately:
+        // persistence across processes in miniature.
+        let other = EvalCache::open(&dir).unwrap();
+        assert_same(&direct, &other.distribute(&spec, 10_000).unwrap());
+        assert_eq!(other.stats().scbd_hits, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn distinct_budgets_are_distinct_entries() {
+        let dir = tempdir("budgets");
+        let cache = EvalCache::open(&dir).unwrap();
+        let spec = spec();
+        let a = cache.distribute(&spec, 10_000).unwrap();
+        let b = cache.distribute(&spec, 5_000).unwrap();
+        assert_ne!(a.total_budget, b.total_budget);
+        assert_eq!(cache.stats().scbd_misses, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let dir = tempdir("errors");
+        let cache = EvalCache::open(&dir).unwrap();
+        let spec = spec();
+        for _ in 0..2 {
+            assert!(matches!(
+                cache.distribute(&spec, 1),
+                Err(ExploreError::BudgetTooTight { .. })
+            ));
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.scbd_hits, stats.scbd_misses), (0, 0));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_entry_degrades_to_recompute() {
+        let dir = tempdir("truncate");
+        let cache = EvalCache::open(&dir).unwrap();
+        let spec = spec();
+        let original = cache.distribute(&spec, 10_000).unwrap();
+        let path = cache.scbd_path(&CacheKey::scbd(&spec, 10_000));
+        let bytes = fs::read(&path).unwrap();
+        // Every possible truncation point must miss cleanly, including
+        // cuts inside the header, the payload and the checksum.
+        for keep in [0, 4, MAGIC.len(), 20, bytes.len() / 2, bytes.len() - 1] {
+            fs::write(&path, &bytes[..keep]).unwrap();
+            assert!(
+                cache.load_scbd(&CacheKey::scbd(&spec, 10_000)).is_none(),
+                "truncation to {keep} bytes must read as a miss"
+            );
+            // The policy layer recomputes and repairs the entry.
+            let again = cache.distribute(&spec, 10_000).unwrap();
+            assert_same(&original, &again);
+            assert!(cache.load_scbd(&CacheKey::scbd(&spec, 10_000)).is_some());
+            fs::write(&path, &bytes).unwrap();
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_and_flipped_bits_degrade_to_recompute() {
+        let dir = tempdir("garbage");
+        let cache = EvalCache::open(&dir).unwrap();
+        let spec = spec();
+        cache.distribute(&spec, 10_000).unwrap();
+        let key = CacheKey::scbd(&spec, 10_000);
+        let path = cache.scbd_path(&key);
+        let good = fs::read(&path).unwrap();
+
+        fs::write(&path, b"not a cache entry at all").unwrap();
+        assert!(cache.load_scbd(&key).is_none());
+
+        // A flipped payload bit fails the checksum.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        assert!(cache.load_scbd(&key).is_none());
+
+        // Trailing junk after a valid entry is rejected too.
+        let mut padded = good.clone();
+        padded.push(0);
+        fs::write(&path, &padded).unwrap();
+        assert!(cache.load_scbd(&key).is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_consistent_giant_count_is_rejected_without_allocating() {
+        // A corrupt (or adversarial — FNV is not cryptographic) entry
+        // whose checksum *matches* but whose record count is absurd must
+        // still read as a miss, without `Vec::with_capacity` attempting
+        // a giant allocation first: counts are bounded by the bytes
+        // actually present.
+        let dir = tempdir("giant");
+        let cache = EvalCache::open(&dir).unwrap();
+        let spec = spec();
+        let key = CacheKey::scbd(&spec, 10_000);
+        for claimed in [u64::MAX / 2, 1 << 32, 1 << 20, 2] {
+            let mut payload = Vec::new();
+            push_u64(&mut payload, claimed); // body count, nothing behind it
+            let mut checksum = StableHasher::new();
+            checksum.write_bytes(&payload);
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(MAGIC);
+            bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            bytes.extend_from_slice(&KIND_SCBD.to_le_bytes());
+            bytes.extend_from_slice(&key.content_hash.to_le_bytes());
+            bytes.extend_from_slice(&key.budget.to_le_bytes());
+            bytes.extend_from_slice(&key.model_fingerprint.to_le_bytes());
+            bytes.extend_from_slice(&key.knobs_fingerprint.to_le_bytes());
+            bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+            bytes.extend_from_slice(&checksum.finish().to_le_bytes());
+            fs::write(cache.scbd_path(&key), &bytes).unwrap();
+            assert!(
+                cache.load_scbd(&key).is_none(),
+                "claimed count {claimed} must be a miss"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_version_header_is_a_miss() {
+        let dir = tempdir("version");
+        let cache = EvalCache::open(&dir).unwrap();
+        let spec = spec();
+        cache.distribute(&spec, 10_000).unwrap();
+        let key = CacheKey::scbd(&spec, 10_000);
+        let path = cache.scbd_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        // The version field sits right after the magic.
+        let future = (FORMAT_VERSION + 1).to_le_bytes();
+        bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&future);
+        fs::write(&path, &bytes).unwrap();
+        assert!(
+            cache.load_scbd(&key).is_none(),
+            "a future format version must be unreadable, not misparsed"
+        );
+        // And a wrong kind tag likewise.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes[MAGIC.len() + 4..MAGIC.len() + 8].copy_from_slice(&99u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load_scbd(&key).is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_key_from_model_constant_change_misses() {
+        let dir = tempdir("stale");
+        let cache = EvalCache::open(&dir).unwrap();
+        let spec = spec();
+        cache.distribute(&spec, 10_000).unwrap();
+        let fresh = CacheKey::scbd(&spec, 10_000);
+        assert!(cache.load_scbd(&fresh).is_some());
+        // A recalibrated timing/pressure constant moves the model
+        // fingerprint; the old entry must not be found under the new
+        // key (this is exactly how a release with changed constants
+        // invalidates a CI-carried cache).
+        let recalibrated = CacheKey {
+            model_fingerprint: fresh.model_fingerprint ^ 1,
+            ..fresh
+        };
+        assert!(cache.load_scbd(&recalibrated).is_none());
+        // Same for a changed algorithm revision (knobs fingerprint).
+        let retuned = CacheKey {
+            knobs_fingerprint: fresh.knobs_fingerprint.wrapping_add(1),
+            ..fresh
+        };
+        assert!(cache.load_scbd(&retuned).is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn key_echo_guards_filename_collisions() {
+        let dir = tempdir("echo");
+        let cache = EvalCache::open(&dir).unwrap();
+        let spec = spec();
+        cache.distribute(&spec, 10_000).unwrap();
+        let key = CacheKey::scbd(&spec, 10_000);
+        // Forge a collision: copy the entry to the filename another key
+        // would hash to. The echoed key inside the entry must reject it.
+        let other = CacheKey {
+            budget: 20_000,
+            ..key
+        };
+        fs::copy(cache.scbd_path(&key), cache.scbd_path(&other)).unwrap();
+        assert!(cache.load_scbd(&other).is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_directory_counts_failures_but_still_serves() {
+        let dir = tempdir("unwritable");
+        let cache = EvalCache::open(&dir).unwrap();
+        let spec = spec();
+        // Make the scbd subdirectory unwritable, then evaluate: the
+        // compute path must succeed and only the failure counter moves.
+        let scbd_dir = dir.join("scbd");
+        let mut perms = fs::metadata(&scbd_dir).unwrap().permissions();
+        let writable = perms.clone();
+        perms.set_readonly(true);
+        fs::set_permissions(&scbd_dir, perms).unwrap();
+        let result = cache.distribute(&spec, 10_000);
+        fs::set_permissions(&scbd_dir, writable).unwrap();
+        // Root-privileged runners can write into read-only directories;
+        // only assert the failure accounting when the write really
+        // failed.
+        result.unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.scbd_misses, 1);
+        assert!(stats.write_failures <= 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_unusable_roots() {
+        // A root that is a *file* cannot hold a cache.
+        let file = std::env::temp_dir().join(format!("memx-cache-file-{}", std::process::id()));
+        fs::write(&file, b"x").unwrap();
+        let err = EvalCache::open(&file).unwrap_err();
+        assert!(err.to_string().contains("unusable"));
+        assert!(err.source().is_some());
+        fs::remove_file(&file).ok();
+    }
+}

@@ -52,16 +52,17 @@
 //! ```
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 
 use memx_ir::AppSpec;
 use memx_memlib::MemLibrary;
 
+use crate::cache::{self, EvalCache};
 use crate::explore::{evaluate_scheduled, CostReport, EvaluateOptions, Exploration};
-use crate::scbd::{self, ScbdResult};
+use crate::scbd::ScbdResult;
 use crate::ExploreError;
 
 /// Worker count for "one per available core" requests.
@@ -116,12 +117,13 @@ impl<'a> DesignPoint<'a> {
     }
 }
 
-/// The batched evaluation engine: a technology library plus a worker
-/// pool size (see module docs).
+/// The batched evaluation engine: a technology library, a worker pool
+/// size, and optionally a persistent evaluation cache (see module docs).
 #[derive(Debug)]
 pub struct Engine<'l> {
     lib: &'l MemLibrary,
     workers: usize,
+    cache: Option<Arc<EvalCache>>,
 }
 
 impl<'l> Engine<'l> {
@@ -139,7 +141,22 @@ impl<'l> Engine<'l> {
                 0 => auto_workers(),
                 n => n,
             },
+            cache: None,
         }
+    }
+
+    /// Attaches a persistent evaluation cache: schedule distributions
+    /// are then served from / published to disk (see [`crate::cache`]).
+    /// Results are bit-identical with or without a cache — only the
+    /// work to produce them changes.
+    pub fn with_eval_cache(mut self, cache: Option<Arc<EvalCache>>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The attached persistent cache, if any.
+    pub fn eval_cache(&self) -> Option<&EvalCache> {
+        self.cache.as_deref()
     }
 
     /// The resolved worker count.
@@ -147,63 +164,168 @@ impl<'l> Engine<'l> {
         self.workers
     }
 
-    /// Evaluates every design point, fanning the batch across the worker
-    /// pool, and returns the per-point results in input order.
+    /// Evaluates every design point, streaming each [`CostReport`] to
+    /// `visit` **in input order** as soon as it (and all its
+    /// predecessors) complete — the visitor is called exactly once per
+    /// point, on the calling thread.
+    ///
+    /// This is the memory-frugal path for very large batches: reports
+    /// carry full schedules, and a materializing API
+    /// ([`Engine::evaluate_many`]) keeps every one of them alive at
+    /// once. Here a report's lifetime is the visitor call. With one
+    /// worker the batch truly streams: schedules are distributed
+    /// lazily, memoized only while a later point still shares them, and
+    /// dropped after their last use — a unique-budget sweep (Table 3)
+    /// holds one schedule and one report at a time, whatever the row
+    /// count. With many workers the unique schedules are distributed up
+    /// front across the pool (and retained for the stream's duration),
+    /// and out-of-order completions wait in a reorder window bounded by
+    /// the evaluation skew, not the batch size.
     ///
     /// Points sharing a `(spec, budget)` pair reuse one memoized
-    /// schedule: the unique schedules are distributed up front (in
-    /// parallel), so a Table-4 sweep really schedules once rather than
-    /// racing one computation per worker. Results are bit-identical to
-    /// calling [`crate::explore::evaluate`] per point, for any worker
-    /// count.
-    pub fn evaluate_many(&self, points: &[DesignPoint]) -> Vec<Result<CostReport, ExploreError>> {
-        // Phase 1: one SCBD distribution per unique (spec content,
-        // budget) key, fanned over the full pool.
+    /// schedule, served from the persistent cache when one is attached
+    /// — each freshly computed schedule is published to disk as it
+    /// completes. Results are bit-identical to calling
+    /// [`crate::explore::evaluate`] per point, for any worker count,
+    /// cached or not.
+    pub fn evaluate_stream<F>(&self, points: &[DesignPoint], mut visit: F)
+    where
+        F: FnMut(usize, Result<CostReport, ExploreError>),
+    {
+        // Key every point by (spec content, budget) and record each
+        // key's last use, so the serial path can drop schedules the
+        // moment no later point shares them.
         let mut key_of_point: Vec<(u64, u64)> = Vec::with_capacity(points.len());
-        let mut unique: Vec<(&DesignPoint, u64)> = Vec::new();
-        let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
-        for point in points {
+        let mut last_use: HashMap<(u64, u64), usize> = HashMap::new();
+        for (i, point) in points.iter().enumerate() {
             let budget = point
                 .options
                 .cycle_budget
                 .unwrap_or_else(|| point.spec.cycle_budget());
             let key = (point.spec.content_hash(), budget);
             key_of_point.push(key);
-            seen.entry(key).or_insert_with(|| {
-                unique.push((point, budget));
-                unique.len() - 1
-            });
+            last_use.insert(key, i);
         }
-        let schedules = parallel_map(&unique, self.workers, |_, &(point, budget)| {
-            scbd::distribute_with_budget(point.spec, budget)
-        });
-        let cache: HashMap<(u64, u64), Result<ScbdResult, ExploreError>> = seen
-            .into_iter()
-            .map(|(key, idx)| (key, schedules[idx].clone()))
-            .collect();
 
-        // Phase 2: fan the evaluations. Points whose allocation search is
-        // on auto (`workers == 0`) get the pool split between the
-        // levels, so a batch does not oversubscribe cores²-style. (The
-        // allocation solver spends its share first on the off-chip
-        // partition subtrees, then splits it between the k-sweep and
-        // each size's subtree search — three cooperating levels in
-        // total; see `crate::alloc`.)
+        // Points whose allocation search is on auto (`workers == 0`)
+        // get the pool split between the levels, so a batch does not
+        // oversubscribe cores²-style. (The allocation solver spends its
+        // share first on the off-chip partition subtrees, then splits
+        // it between the k-sweep and each size's subtree search — three
+        // cooperating levels in total; see `crate::alloc`.)
         let point_workers = self.workers.min(points.len().max(1));
         let alloc_workers = (self.workers / point_workers).max(1);
-        parallel_map(points, point_workers, |i, point| {
-            let schedule = cache
-                .get(&key_of_point[i])
-                .expect("every key pre-scheduled")
-                .clone()?;
+        let evaluate_scheduled_point = |point: &DesignPoint,
+                                        schedule: Result<ScbdResult, ExploreError>|
+         -> Result<CostReport, ExploreError> {
             let mut options = point.options.clone();
             if options.alloc.workers == 0 {
                 options.alloc.workers = alloc_workers;
             }
-            let mut report = evaluate_scheduled(point.spec, self.lib, schedule, &options)?;
+            let mut report = evaluate_scheduled(point.spec, self.lib, schedule?, &options)?;
             report.label = point.label.clone();
             Ok(report)
-        })
+        };
+
+        if point_workers <= 1 || points.len() <= 1 {
+            // Straight serial path: no thread, no buffering. Schedules
+            // are computed lazily at their first use, memoized only
+            // while a later point still shares them, and handed over
+            // (not cloned) at their last use.
+            let mut memo: HashMap<(u64, u64), Result<ScbdResult, ExploreError>> = HashMap::new();
+            for (i, point) in points.iter().enumerate() {
+                let key = key_of_point[i];
+                let distribute =
+                    || cache::distribute_cached(point.spec, key.1, self.cache.as_deref());
+                let schedule = if last_use[&key] == i {
+                    memo.remove(&key).unwrap_or_else(distribute)
+                } else {
+                    memo.entry(key).or_insert_with(distribute).clone()
+                };
+                visit(i, evaluate_scheduled_point(point, schedule));
+            }
+            return;
+        }
+
+        // Parallel phase 1: one SCBD distribution per unique key,
+        // fanned over the full pool; the map lives for the whole
+        // stream (workers consume schedules in claim order, so no
+        // per-key lifetime can be tracked without synchronizing on the
+        // visitor — the reports themselves still stream).
+        let mut unique: Vec<(&DesignPoint, u64)> = Vec::new();
+        let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
+        for (i, point) in points.iter().enumerate() {
+            seen.entry(key_of_point[i]).or_insert_with(|| {
+                unique.push((point, key_of_point[i].1));
+                unique.len() - 1
+            });
+        }
+        let schedules = parallel_map(&unique, self.workers, |_, &(point, budget)| {
+            cache::distribute_cached(point.spec, budget, self.cache.as_deref())
+        });
+        let scheduled: HashMap<(u64, u64), Result<ScbdResult, ExploreError>> = seen
+            .into_iter()
+            .map(|(key, idx)| (key, schedules[idx].clone()))
+            .collect();
+        let evaluate_point = |i: usize, point: &DesignPoint| {
+            let schedule = scheduled
+                .get(&key_of_point[i])
+                .expect("every key pre-scheduled")
+                .clone();
+            evaluate_scheduled_point(point, schedule)
+        };
+
+        // Parallel phase 2: workers claim indices dynamically and send
+        // completions over a channel; the calling thread reorders them
+        // into input order. Equivalent to `parallel_map` but without
+        // the all-results-alive slot vector.
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<CostReport, ExploreError>)>();
+        thread::scope(|scope| {
+            for _ in 0..point_workers {
+                let tx = tx.clone();
+                note_thread_spawn();
+                scope.spawn(|| {
+                    let tx = tx; // move the clone, not the original
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= points.len() {
+                            break;
+                        }
+                        if tx.send((i, evaluate_point(i, &points[i]))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let mut pending: BTreeMap<usize, Result<CostReport, ExploreError>> = BTreeMap::new();
+            let mut expected = 0usize;
+            for (i, result) in rx {
+                pending.insert(i, result);
+                while let Some(result) = pending.remove(&expected) {
+                    visit(expected, result);
+                    expected += 1;
+                }
+            }
+            debug_assert!(pending.is_empty(), "every completion delivered in order");
+        });
+    }
+
+    /// Evaluates every design point, fanning the batch across the worker
+    /// pool, and returns the per-point results in input order.
+    ///
+    /// This is the materializing convenience over
+    /// [`Engine::evaluate_stream`]; prefer the streaming path when the
+    /// batch is large or reports are consumed one at a time.
+    pub fn evaluate_many(&self, points: &[DesignPoint]) -> Vec<Result<CostReport, ExploreError>> {
+        let mut results: Vec<Option<Result<CostReport, ExploreError>>> =
+            (0..points.len()).map(|_| None).collect();
+        self.evaluate_stream(points, |i, result| results[i] = Some(result));
+        results
+            .into_iter()
+            .map(|slot| slot.expect("stream visits every point exactly once"))
+            .collect()
     }
 
     /// Evaluates every design point and folds the reports into an
@@ -216,10 +338,19 @@ impl<'l> Engine<'l> {
     /// exploration is not partially populated in that case.
     pub fn explore(&self, points: &[DesignPoint]) -> Result<Exploration<'l>, ExploreError> {
         let mut exploration = Exploration::new(self.lib);
-        for result in self.evaluate_many(points) {
-            exploration.push(result?);
+        let mut first_error: Option<ExploreError> = None;
+        self.evaluate_stream(points, |_, result| {
+            if first_error.is_none() {
+                match result {
+                    Ok(report) => exploration.push(report),
+                    Err(e) => first_error = Some(e),
+                }
+            }
+        });
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(exploration),
         }
-        Ok(exploration)
     }
 }
 
@@ -402,6 +533,88 @@ mod tests {
         let before = thread_spawns_on_current_thread();
         parallel_map(&items, 3, |_, &x| x + 1);
         assert_eq!(thread_spawns_on_current_thread(), before + 3);
+    }
+
+    #[test]
+    fn evaluate_stream_visits_in_input_order_without_materializing() {
+        let lib = MemLibrary::default_07um();
+        let spec = spec("t");
+        let points = budget_points(&spec);
+        let many = Engine::with_workers(&lib, 1).evaluate_many(&points);
+        for workers in [1, 2, 8] {
+            let engine = Engine::with_workers(&lib, workers);
+            let mut visited: Vec<usize> = Vec::new();
+            engine.evaluate_stream(&points, |i, result| {
+                visited.push(i);
+                match (&result, &many[i]) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.label, b.label);
+                        assert_eq!(a.cost, b.cost);
+                        assert_eq!(a.organization, b.organization);
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    (a, b) => panic!("stream {a:?} vs many {b:?}"),
+                }
+            });
+            assert_eq!(visited, vec![0, 1, 2, 3], "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn one_worker_stream_spawns_no_threads() {
+        let lib = MemLibrary::default_07um();
+        let spec = spec("t");
+        let points = budget_points(&spec);
+        let engine = Engine::with_workers(&lib, 1);
+        let before = thread_spawns_on_current_thread();
+        let mut n = 0;
+        engine.evaluate_stream(&points, |_, _| n += 1);
+        assert_eq!(n, points.len());
+        assert_eq!(
+            thread_spawns_on_current_thread(),
+            before,
+            "workers=1 stream spawned a thread"
+        );
+    }
+
+    #[test]
+    fn cached_engine_matches_uncached_bit_for_bit() {
+        let dir = std::env::temp_dir().join(format!(
+            "memx-engine-cache-{}-{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = Arc::new(EvalCache::open(&dir).unwrap());
+        let lib = MemLibrary::default_07um();
+        let spec = spec("t");
+        let points = budget_points(&spec);
+        let plain = Engine::with_workers(&lib, 2).evaluate_many(&points);
+        // Cold pass fills the cache, warm pass is served from it; both
+        // must equal the uncached reports exactly.
+        for pass in ["cold", "warm"] {
+            let engine = Engine::with_workers(&lib, 2).with_eval_cache(Some(Arc::clone(&cache)));
+            for (result, reference) in engine.evaluate_many(&points).iter().zip(&plain) {
+                match (result, reference) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.cost, b.cost, "{pass}");
+                        assert_eq!(a.organization, b.organization, "{pass}");
+                        assert_eq!(a.schedule.bodies.len(), b.schedule.bodies.len(), "{pass}");
+                        for (x, y) in a.schedule.bodies.iter().zip(&b.schedule.bodies) {
+                            assert_eq!(x.placements(), y.placements(), "{pass}");
+                        }
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "{pass}"),
+                    (a, b) => panic!("{pass}: cached {a:?} vs plain {b:?}"),
+                }
+            }
+        }
+        let stats = cache.stats();
+        // Three schedulable unique budgets; the fourth fails (too
+        // tight) and errors are never cached.
+        assert_eq!(stats.scbd_misses, 3, "cold pass computes each schedule");
+        assert_eq!(stats.scbd_hits, 3, "warm pass serves each from disk");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

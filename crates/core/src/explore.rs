@@ -14,8 +14,9 @@ use memx_ir::AppSpec;
 use memx_memlib::{CostBreakdown, MemLibrary};
 
 use crate::alloc::{assign_with_stats, check_cost_weights, AllocOptions, AllocStats, Organization};
+use crate::cache::{self, EvalCache};
 use crate::macp;
-use crate::scbd::{self, ScbdResult};
+use crate::scbd::ScbdResult;
 use crate::ExploreError;
 
 /// Options for a single end-to-end evaluation.
@@ -63,8 +64,27 @@ pub fn evaluate(
     lib: &MemLibrary,
     options: &EvaluateOptions,
 ) -> Result<CostReport, ExploreError> {
+    evaluate_with_cache(spec, lib, None, options)
+}
+
+/// Runs SCBD + allocation/assignment on one variant, serving the
+/// schedule from the persistent evaluation cache when one is given (and
+/// publishing freshly computed schedules to it). Results are
+/// bit-identical to [`evaluate`] — the cache only changes the work, not
+/// the answer (see [`crate::cache`]).
+///
+/// # Errors
+///
+/// Propagates [`ExploreError`]s from the stages; the cache itself never
+/// fails an evaluation.
+pub fn evaluate_with_cache(
+    spec: &AppSpec,
+    lib: &MemLibrary,
+    eval_cache: Option<&EvalCache>,
+    options: &EvaluateOptions,
+) -> Result<CostReport, ExploreError> {
     let budget = options.cycle_budget.unwrap_or_else(|| spec.cycle_budget());
-    let schedule = scbd::distribute_with_budget(spec, budget)?;
+    let schedule = cache::distribute_cached(spec, budget, eval_cache)?;
     evaluate_scheduled(spec, lib, schedule, options)
 }
 

@@ -24,7 +24,9 @@
 //! [`engine`] batches design-point evaluations across a worker pool
 //! (with memoized scheduling), so sweeps and variant comparisons run as
 //! fast as the hardware allows while returning bit-identical results to
-//! the serial path.
+//! the serial path; [`cache`] makes that memoization durable — a
+//! disk-backed, content-addressed store that carries schedules across
+//! processes and CI runs.
 //!
 //! # Example
 //!
@@ -52,6 +54,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod alloc;
+pub mod cache;
 pub mod engine;
 mod error;
 pub mod explore;

@@ -44,17 +44,27 @@ use crate::macp::{access_duration, body_critical_path};
 use crate::ExploreError;
 
 /// Pressure cost of two accesses to the *same group* overlapping in one
-/// cycle (forces a multi-port memory or a group split).
-const SAME_GROUP_COST: f64 = 8.0;
+/// cycle (forces a multi-port memory or a group split). `pub(crate)` so
+/// the persistent cache can fold it into its model fingerprint: a
+/// changed constant changes the schedules, so it must miss old entries.
+pub(crate) const SAME_GROUP_COST: f64 = 8.0;
 /// Pressure cost of two off-chip accesses overlapping (forces a
 /// multi-port or second off-chip memory).
-const OFF_CHIP_PAIR_COST: f64 = 4.0;
+pub(crate) const OFF_CHIP_PAIR_COST: f64 = 4.0;
 /// Pressure cost of two on-chip accesses overlapping (forces the groups
 /// into different on-chip memories, or a multi-port module).
-const ON_CHIP_PAIR_COST: f64 = 2.0;
+pub(crate) const ON_CHIP_PAIR_COST: f64 = 2.0;
 /// Pressure cost of an on-chip access overlapping an off-chip one:
 /// nearly free, since the groups live in different memories anyway.
-const MIXED_PAIR_COST: f64 = 0.25;
+pub(crate) const MIXED_PAIR_COST: f64 = 0.25;
+
+/// Grant lookahead of the marginal-relief loop in
+/// [`distribute_with_budget`]: how many extra cycles a body may be
+/// offered at once to escape plateaus where one cycle alone does not
+/// reduce pressure yet. `pub(crate)` so the persistent cache folds it
+/// into its knobs fingerprint — tuning it changes the schedules, so it
+/// must re-key every cached entry automatically.
+pub(crate) const GRANT_LOOKAHEAD: u64 = 4;
 
 /// Pressure contributed by two overlapping occupants.
 fn pair_cost(a: &Occupant, b: &Occupant) -> f64 {
@@ -123,7 +133,11 @@ pub struct BodySchedule {
 }
 
 impl BodySchedule {
-    fn new(
+    /// Builds a schedule from its placed intervals, deriving the sparse
+    /// occupancy table. `pub(crate)` so the persistent cache can
+    /// rehydrate schedules from their serialized placements — the
+    /// derived slots are always recomputed, never trusted from disk.
+    pub(crate) fn new(
         nest: LoopNestId,
         name: String,
         iterations: u64,
@@ -552,7 +566,6 @@ pub fn distribute_with_budget(spec: &AppSpec, budget: u64) -> Result<ScbdResult,
     // the best pressure relief per global-budget cycle. A small
     // lookahead (several cycles at once) escapes plateaus where one
     // extra cycle alone does not reduce pressure yet.
-    const LOOKAHEAD: u64 = 4;
     loop {
         let mut best: Option<(usize, u64, BodySchedule, f64)> = None;
         for (i, nest) in nests.iter().enumerate() {
@@ -560,7 +573,7 @@ pub fn distribute_with_budget(spec: &AppSpec, budget: u64) -> Result<ScbdResult,
                 continue;
             }
             let step = nest.iterations();
-            let max_extra = LOOKAHEAD
+            let max_extra = GRANT_LOOKAHEAD
                 .min(serial[i].saturating_sub(budgets[i]))
                 .min(budget.saturating_sub(used) / step.max(1));
             for extra in 1..=max_extra {

@@ -46,6 +46,7 @@
 mod access;
 mod error;
 mod group;
+pub mod hash;
 mod loops;
 mod spec;
 

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::hash::StableHasher;
 use crate::{
     Access, AccessId, AccessKind, BasicGroup, BasicGroupId, BuildSpecError, DependencyEdge,
     LoopNest, LoopNestId, Placement, ValidateSpecError,
@@ -166,7 +167,7 @@ impl AppSpec {
     /// The hash is *not* a cryptographic commitment; it is stable across
     /// processes and releases only as long as the IR layout is.
     pub fn content_hash(&self) -> u64 {
-        let mut h = Fnv1a::new();
+        let mut h = StableHasher::new();
         h.write_str(&self.name);
         h.write_u64(self.groups.len() as u64);
         for g in &self.groups {
@@ -219,40 +220,6 @@ impl AppSpec {
             cycle_budget: Some(self.cycle_budget),
             real_time_s: self.real_time_s,
         }
-    }
-}
-
-/// Minimal FNV-1a hasher: dependency-free, stable across platforms and
-/// endianness (all inputs are fed as explicit little-endian words).
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    fn new() -> Self {
-        Fnv1a(Self::OFFSET)
-    }
-
-    fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        self.write_bytes(&v.to_le_bytes());
-    }
-
-    /// Length-prefixed so `("ab", "c")` and `("a", "bc")` differ.
-    fn write_str(&mut self, s: &str) {
-        self.write_u64(s.len() as u64);
-        self.write_bytes(s.as_bytes());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
     }
 }
 

@@ -20,6 +20,12 @@
 # branch-and-bound counters: nodes expanded versus the Bell-number
 # partition space the retired exhaustive enumeration had to stream
 # through. scripts/bench_regression.sh gates nodes < exhaustive.
+#
+# The v4 schema additionally records the persistent evaluation cache's
+# hit/miss counters from a cold and a warm table3 run against a
+# throwaway cache directory: scripts/bench_regression.sh gates
+# warm_hits > 0 (the cache must actually serve) and warm_misses == 0
+# (a warm cache must be complete for an unchanged binary).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -65,6 +71,15 @@ stat_line() {
     sed -n "s/^\[$2: \([0-9]*\)\]\$/\1/p" <<<"$1" | head -1
 }
 
+# cache_hits/cache_misses STDERR -> the fields of
+# "[scbd cache: H hits / M misses]"
+cache_hits() {
+    sed -n 's|^\[scbd cache: \([0-9]*\) hits / [0-9]* misses\]$|\1|p' <<<"$1" | head -1
+}
+cache_misses() {
+    sed -n 's|^\[scbd cache: [0-9]* hits / \([0-9]*\) misses\]$|\1|p' <<<"$1" | head -1
+}
+
 cores=$(nproc 2>/dev/null || echo 1)
 smoke=false
 if [ -n "${MEMX_SMOKE:-}" ] && [ "${MEMX_SMOKE}" != "0" ]; then
@@ -85,6 +100,20 @@ speedup=$(awk -v s="$t4_serial" -v p="$t4_parallel" \
 printf 'bench: table4 serial %ss / parallel %ss -> speedup %sx on %s core(s)\n' \
     "$t4_serial" "$t4_parallel" "$speedup" "$cores"
 
+# Cold/warm cache counters (table3: the most cache-active binary —
+# its crossover probe plus the sweep distribute dozens of schedules).
+cache_dir=$(mktemp -d)
+trap 'rm -rf "$cache_dir"' EXIT
+stderr_cold=$(env MEMX_CACHE_DIR="$cache_dir" MEMX_WORKERS=1 \
+    ./target/release/table3_cycle_budget 2>&1 >/dev/null)
+stderr_warm=$(env MEMX_CACHE_DIR="$cache_dir" MEMX_WORKERS=1 \
+    ./target/release/table3_cycle_budget 2>&1 >/dev/null)
+cold_misses=$(cache_misses "$stderr_cold")
+warm_hits=$(cache_hits "$stderr_warm")
+warm_misses=$(cache_misses "$stderr_warm")
+printf 'bench: scbd cache cold %s misses -> warm %s hits / %s misses\n' \
+    "$cold_misses" "$warm_hits" "$warm_misses"
+
 stderr_solo=$(table4_stderr solo)
 stderr_pairwise=$(table4_stderr pairwise)
 nodes_solo=$(stat_line "$stderr_solo" "alloc nodes")
@@ -98,7 +127,7 @@ printf 'bench: table4 off-chip nodes %s vs exhaustive partitions %s\n' \
 
 cat > "$OUT" << EOF
 {
-  "schema": "memexplore-bench-v3",
+  "schema": "memexplore-bench-v4",
   "generated_unix": $(date +%s),
   "smoke": $smoke,
   "cores": $cores,
@@ -118,6 +147,11 @@ ${entries%,$'\n'}
   "table4_off_chip": {
     "bb_nodes": $off_nodes,
     "exhaustive_partitions": $off_exhaustive
+  },
+  "scbd_cache": {
+    "cold_misses": $cold_misses,
+    "warm_hits": $warm_hits,
+    "warm_misses": $warm_misses
   }
 }
 EOF

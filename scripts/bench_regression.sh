@@ -14,13 +14,18 @@
 #     Bell-number partition space of the retired exhaustive enumeration
 #     (the search must prune, not enumerate) — also self-contained;
 #   * NEW's off-chip node count exceeds 1.5x PREV's (pruning regressed
-#     against the cached baseline).
+#     against the cached baseline);
+#   * NEW's scbd_cache block reports zero warm hits or nonzero warm
+#     misses (the persistent cache stopped serving, or a warm cache is
+#     incomplete for an unchanged binary) — self-contained, no PREV
+#     needed.
 #
 # A missing PREV (first run, expired CI cache) skips the wall-clock
 # comparison with a note instead of failing, so the gate bootstraps
-# itself. A PREV from an older schema (no table4_off_chip block) skips
-# only the off-chip vs-baseline comparison, again with a note — older
-# artifacts must never turn the gate red.
+# itself. A PREV from an older schema (no table4_off_chip block, or a
+# v3 artifact without the scbd_cache block) skips only the affected
+# vs-baseline comparison, again with a note — older artifacts must
+# never turn the gate red.
 set -euo pipefail
 
 prev=${1:?usage: bench_regression.sh PREV.json NEW.json}
@@ -77,6 +82,30 @@ if [ -n "$off_nodes" ] && [ -n "$off_exhaustive" ]; then
 else
     echo "bench-regression: FAIL $new lacks table4_off_chip counters" >&2
     fail=1
+fi
+
+# --- Persistent-cache invariant (self-contained). ---------------------
+warm_hits=$(field "$new" warm_hits)
+warm_misses=$(field "$new" warm_misses)
+if [ -n "$warm_hits" ] && [ -n "$warm_misses" ]; then
+    if [ "$warm_hits" -eq 0 ]; then
+        echo "bench-regression: FAIL warm cache run served no hits" >&2
+        fail=1
+    elif [ "$warm_misses" -ne 0 ]; then
+        echo "bench-regression: FAIL warm cache run still missed $warm_misses times" >&2
+        fail=1
+    else
+        echo "bench-regression: scbd cache ok (warm hits $warm_hits, misses 0)"
+    fi
+else
+    echo "bench-regression: FAIL $new lacks scbd_cache counters" >&2
+    fail=1
+fi
+# The scbd_cache gate reads only NEW; a v3 PREV (no scbd_cache block)
+# therefore needs no comparison — note it for symmetry with the
+# other schema-bump tolerances.
+if [ -f "$prev" ] && [ -z "$(field "$prev" warm_hits)" ]; then
+    echo "bench-regression: previous artifact predates scbd_cache (older schema); cache gate is self-contained, nothing skipped"
 fi
 
 # --- Off-chip nodes vs the previous artifact. -------------------------

@@ -14,6 +14,13 @@
 # Stdout only: stderr carries the worker-count banner and (in parallel
 # runs) timing-dependent node counters, which are documented as
 # non-deterministic.
+#
+# The persistent evaluation cache is folded into the same matrix: every
+# (bound, workers) cell is re-run with MEMX_CACHE_DIR pointing at one
+# shared cache directory, and the cached stdout must diff clean against
+# the uncached run of the same cell. The shared directory is *cold* for
+# the first cell and warm for every later one, so both fill and serve
+# paths are pinned to byte-identity end-to-end.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -45,6 +52,30 @@ for bound in pairwise solo; do
                     "$bin" "$bound" "$workers"
             else
                 echo "determinism: FAIL $bin (bound=$bound) differs between workers=1 and workers=$workers:" >&2
+                cat "$outdir/diff.txt" >&2
+                status=1
+            fi
+        done
+    done
+done
+
+# --- cached vs uncached: same matrix, one shared cache directory. ------
+cachedir="$outdir/evalcache"
+for bound in pairwise solo; do
+    for workers in 1 2 8; do
+        for bin in "${BINARIES[@]}"; do
+            if ! MEMX_BOUND=$bound MEMX_WORKERS=$workers MEMX_CACHE_DIR=$cachedir \
+                "./target/release/$bin" >"$outdir/$bin.$bound.$workers.cached" 2>/dev/null; then
+                echo "determinism: FAIL $bin (bound=$bound workers=$workers cached) exited non-zero" >&2
+                status=1
+                continue
+            fi
+            if diff -u "$outdir/$bin.$bound.$workers" "$outdir/$bin.$bound.$workers.cached" \
+                >"$outdir/diff.txt"; then
+                printf 'determinism: %-28s bound=%-8s workers=%s cached == uncached\n' \
+                    "$bin" "$bound" "$workers"
+            else
+                echo "determinism: FAIL $bin (bound=$bound workers=$workers) cached differs from uncached:" >&2
                 cat "$outdir/diff.txt" >&2
                 status=1
             fi
