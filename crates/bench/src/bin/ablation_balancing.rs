@@ -9,7 +9,7 @@
 //! altogether.
 
 use memx_bench::experiments;
-use memx_core::alloc::assign;
+use memx_core::alloc::assign_with_stats_cached;
 use memx_core::scbd;
 use memx_core::scbd::BodySchedule;
 
@@ -42,8 +42,17 @@ fn main() {
                 print!(
                     "{label:<18} pressure {pressure:>7.1}  max self-overlap {max_ports_any_group}  "
                 );
-                match assign(&spec, &schedule, &ctx.lib, &ctx.alloc) {
-                    Ok(org) => println!(
+                // Both arms share the allocation cache: the assignment
+                // step is identical, only its input schedule differs
+                // (and so, via the instance fingerprint, its cache key).
+                match assign_with_stats_cached(
+                    &spec,
+                    &schedule,
+                    &ctx.lib,
+                    &ctx.alloc,
+                    ctx.cache.as_deref(),
+                ) {
+                    Ok((org, _)) => println!(
                         "-> {} (off-chip ports {})",
                         org.cost,
                         org.max_off_chip_ports()
@@ -54,5 +63,5 @@ fn main() {
             Err(e) => println!("{label:<18} scheduling fails: {e}"),
         }
     }
-    experiments::print_cache_stat_line(ctx.cache.as_deref());
+    experiments::print_cache_stat_lines(ctx.cache.as_deref());
 }

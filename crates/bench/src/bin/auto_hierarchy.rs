@@ -70,5 +70,5 @@ fn main() {
             added.join(", ")
         }
     );
-    experiments::print_cache_stat_line(cache);
+    experiments::print_cache_stat_lines(cache);
 }

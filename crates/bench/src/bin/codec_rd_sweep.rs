@@ -77,5 +77,5 @@ fn main() {
     // The codec sweep never schedules, so this always reads 0/0 —
     // printed anyway (without opening a cache) so every binary's stderr
     // is uniformly grep-able.
-    experiments::print_cache_stat_line(None);
+    experiments::print_cache_stat_lines(None);
 }

@@ -94,5 +94,5 @@ fn main() {
     if let Some((label, scalar)) = best {
         println!("Chosen path (min area+power scalar {scalar:.1}): {label}");
     }
-    experiments::print_cache_stat_line(ctx.cache.as_deref());
+    experiments::print_cache_stat_lines(ctx.cache.as_deref());
 }

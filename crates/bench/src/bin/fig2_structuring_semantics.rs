@@ -57,5 +57,5 @@ fn main() {
     // This figure never schedules, so the line always reads 0/0 —
     // printed anyway (without opening a cache) so every binary's stderr
     // is uniformly grep-able.
-    experiments::print_cache_stat_line(None);
+    experiments::print_cache_stat_lines(None);
 }

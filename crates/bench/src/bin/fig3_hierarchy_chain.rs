@@ -57,5 +57,5 @@ fn main() {
             );
         }
     }
-    experiments::print_cache_stat_line(ctx.cache.as_deref());
+    experiments::print_cache_stat_lines(ctx.cache.as_deref());
 }

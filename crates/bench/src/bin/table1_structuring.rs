@@ -15,5 +15,5 @@ fn main() {
             std::process::exit(1);
         }
     }
-    experiments::print_cache_stat_line(ctx.cache.as_deref());
+    experiments::print_cache_stat_lines(ctx.cache.as_deref());
 }

@@ -36,5 +36,5 @@ fn main() {
         std::process::exit(1);
     }
     experiments::print_alloc_stat_lines_from_stats(stats);
-    experiments::print_cache_stat_line(ctx.cache.as_deref());
+    experiments::print_cache_stat_lines(ctx.cache.as_deref());
 }

@@ -107,7 +107,7 @@ pub fn env_cache() -> Option<Arc<EvalCache>> {
     match EvalCache::open(&dir) {
         Ok(cache) => Some(Arc::new(cache)),
         Err(e) => {
-            eprintln!("[scbd cache disabled: {e}]");
+            eprintln!("[eval cache disabled: {e}]");
             None
         }
     }
@@ -156,20 +156,31 @@ pub fn print_alloc_stat_lines_from_stats(stats: impl IntoIterator<Item = AllocSt
     eprintln!("[off-chip exhaustive: {off_exhaustive}]");
 }
 
-/// Prints a binary's persistent-cache counters on stderr — the
-/// `[scbd cache: H hits / M misses]` line `scripts/bench_baseline.sh`
-/// and `scripts/cache_roundtrip.sh` grep. One owner for the label
-/// format, same rationale as [`print_alloc_stat_lines`]. Binaries
-/// running uncached (no `MEMX_CACHE_DIR`) report `0 hits / 0 misses`,
-/// keeping the line grep-able in every mode.
-pub fn print_cache_stat_line(cache: Option<&EvalCache>) {
-    let (hits, misses) = cache
-        .map(|c| {
-            let stats = c.stats();
-            (stats.scbd_hits, stats.scbd_misses)
-        })
-        .unwrap_or((0, 0));
-    eprintln!("[scbd cache: {hits} hits / {misses} misses]");
+/// Prints a binary's persistent-cache counters on stderr, one line per
+/// entry kind — the `[scbd cache: H hits / M misses]` /
+/// `[alloc cache: H hits / M misses]` / `[block cache: H hits / M
+/// misses]` lines `scripts/bench_baseline.sh`,
+/// `scripts/cache_roundtrip.sh` and `scripts/sharded_sweep.sh` grep.
+/// One owner for the label format, same rationale as
+/// [`print_alloc_stat_lines`]: warm/cold gates must be able to tell a
+/// served schedule from a served allocation, so the kinds are never
+/// summed into one line. Binaries running uncached (no
+/// `MEMX_CACHE_DIR`) report `0 hits / 0 misses` on every line, keeping
+/// the lines grep-able in every mode.
+pub fn print_cache_stat_lines(cache: Option<&EvalCache>) {
+    let stats = cache.map(|c| c.stats()).unwrap_or_default();
+    eprintln!(
+        "[scbd cache: {} hits / {} misses]",
+        stats.scbd_hits, stats.scbd_misses
+    );
+    eprintln!(
+        "[alloc cache: {} hits / {} misses]",
+        stats.alloc_hits, stats.alloc_misses
+    );
+    eprintln!(
+        "[block cache: {} hits / {} misses]",
+        stats.blocks_hits, stats.blocks_misses
+    );
 }
 
 /// Everything the experiments share: the profiled spec, the technology

@@ -128,9 +128,11 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
+use memx_ir::hash::StableHasher;
 use memx_ir::{AppSpec, BasicGroupId, Placement};
 use memx_memlib::{timing, CostBreakdown, MemLibrary, OffChipSelection, OnChipSpec};
 
+use crate::cache::{self, EvalCache};
 use crate::engine::parallel_map;
 use crate::scbd::ScbdResult;
 use crate::ExploreError;
@@ -425,6 +427,83 @@ impl PortOracle {
         self.cache.insert(mask, ports);
         ports
     }
+
+    /// Feeds the deduplicated conflict-slot table into an instance
+    /// fingerprint (see [`alloc_instance_fingerprint`]). Per-group port
+    /// minimums are hashed with the groups themselves — only accessed
+    /// groups ever enter a mask.
+    fn hash_slots(&self, h: &mut StableHasher) {
+        h.write_u64(self.slots.len() as u64);
+        for slot in self.slots.iter() {
+            h.write_u64(slot.len() as u64);
+            for &(g, c) in slot {
+                h.write_u64(g as u64);
+                h.write_u64(u64::from(c));
+            }
+        }
+    }
+}
+
+/// Hashes everything about one accessed group that the allocation
+/// solver reads: its identity (index — results carry indices, not
+/// names), dimensions, port minimum and weighted traffic.
+fn hash_group(h: &mut StableHasher, spec: &AppSpec, traffic: &[Traffic], g: BasicGroupId) {
+    let info = spec.group(g);
+    h.write_u64(g.index() as u64);
+    h.write_u64(info.words());
+    h.write_u64(u64::from(info.bitwidth()));
+    h.write_u64(u64::from(info.min_ports()));
+    h.write_f64(traffic[g.index()].random);
+    h.write_f64(traffic[g.index()].burst);
+}
+
+/// Stable fingerprint of one allocation instance: every solver input
+/// besides the technology model and the options — the accessed groups,
+/// the schedule's port-conflict slot table and the real-time window.
+/// Two specs (or the same spec at two cycle budgets) that induce the
+/// same instance deliberately share one cache entry.
+fn alloc_instance_fingerprint(
+    spec: &AppSpec,
+    traffic: &[Traffic],
+    oracle: &PortOracle,
+    off_groups: &[BasicGroupId],
+    on_groups: &[BasicGroupId],
+    time_s: f64,
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("alloc-instance");
+    h.write_f64(time_s);
+    for (tag, groups) in [("off", off_groups), ("on", on_groups)] {
+        h.write_str(tag);
+        h.write_u64(groups.len() as u64);
+        for &g in groups {
+            hash_group(&mut h, spec, traffic, g);
+        }
+    }
+    oracle.hash_slots(&mut h);
+    h.finish()
+}
+
+/// Stable fingerprint of one off-chip pricing instance — like
+/// [`alloc_instance_fingerprint`] restricted to the off-chip groups, so
+/// the priced block catalog survives option changes (different node
+/// limits, bounds, weights) that re-key the allocation entry itself.
+fn off_chip_blocks_fingerprint(
+    spec: &AppSpec,
+    traffic: &[Traffic],
+    oracle: &PortOracle,
+    groups: &[BasicGroupId],
+    time_s: f64,
+) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("off-chip-blocks-instance");
+    h.write_f64(time_s);
+    h.write_u64(groups.len() as u64);
+    for &g in groups {
+        hash_group(&mut h, spec, traffic, g);
+    }
+    oracle.hash_slots(&mut h);
+    h.finish()
 }
 
 /// Allocates memories and assigns every accessed basic group.
@@ -462,6 +541,28 @@ pub fn assign_with_stats(
     lib: &MemLibrary,
     options: &AllocOptions,
 ) -> Result<(Organization, AllocStats), ExploreError> {
+    assign_with_stats_cached(spec, scbd, lib, options, None)
+}
+
+/// [`assign_with_stats`] with an optional persistent cache: a valid
+/// allocation entry short-circuits the whole branch-and-bound, replaying
+/// the stored [`Organization`] *and* [`AllocStats`] bit-identically (so
+/// node-count telemetry reports what the stored solve actually cost,
+/// not a free lunch). On a miss the solver runs as usual — pre-seeding
+/// its off-chip block pricer from a cached catalog when one exists —
+/// and the solution is stored for the next process. Errors are never
+/// cached.
+///
+/// # Errors
+///
+/// As for [`assign`]; the cache itself never fails an assignment.
+pub fn assign_with_stats_cached(
+    spec: &AppSpec,
+    scbd: &ScbdResult,
+    lib: &MemLibrary,
+    options: &AllocOptions,
+    cache: Option<&EvalCache>,
+) -> Result<(Organization, AllocStats), ExploreError> {
     check_cost_weights(options.area_weight, options.power_weight)?;
     let traffic = group_traffic(spec);
     let time_s = spec.real_time_seconds();
@@ -469,6 +570,19 @@ pub fn assign_with_stats(
     let mut stats = AllocStats::default();
 
     let (off_groups, on_groups) = split_accessed_groups(spec, &traffic)?;
+
+    let alloc_key = cache.map(|_| {
+        let instance =
+            alloc_instance_fingerprint(spec, &traffic, &oracle, &off_groups, &on_groups, time_s);
+        cache::CacheKey::alloc(instance, lib, options)
+    });
+    if let (Some(cache), Some(key)) = (cache, alloc_key.as_ref()) {
+        if let Some((org, stats)) = cache.load_alloc(key) {
+            cache.note_alloc_hit();
+            return Ok((org, stats));
+        }
+    }
+
     let workers = match options.workers {
         0 => crate::engine::auto_workers(),
         n => n,
@@ -485,10 +599,11 @@ pub fn assign_with_stats(
         options,
         workers,
         &mut stats,
+        cache,
     )?;
 
     // --- On-chip side: branch-and-bound per allocation size. ------------
-    if on_groups.is_empty() {
+    let org = if on_groups.is_empty() {
         // A purely off-chip application (or one whose on-chip data is
         // all foreground): nothing to allocate on chip.
         if let Some(k) = options.on_chip_memories {
@@ -499,43 +614,73 @@ pub fn assign_with_stats(
             }
         }
         let cost = off_memories.iter().map(|m| m.cost).sum();
-        return Ok((
-            Organization {
-                memories: off_memories,
-                cost,
+        Organization {
+            memories: off_memories,
+            cost,
+        }
+    } else {
+        let counts: Vec<usize> = match options.on_chip_memories {
+            Some(k) => (k >= 1 && k as usize <= on_groups.len())
+                .then_some(k as usize)
+                .into_iter()
+                .collect(),
+            None => (1..=on_groups.len()).collect(),
+        };
+        let best = sweep_on_chip(
+            spec,
+            &traffic,
+            &mut oracle,
+            lib,
+            &on_groups,
+            &counts,
+            time_s,
+            options,
+            workers,
+            &mut stats,
+        );
+        let (_, mut memories) = best.ok_or_else(|| ExploreError::NoFeasibleAssignment {
+            reason: match options.on_chip_memories {
+                Some(k) => format!("no feasible on-chip assignment with {k} memories"),
+                None => "no feasible on-chip assignment".to_owned(),
             },
-            stats,
-        ));
-    }
-    let counts: Vec<usize> = match options.on_chip_memories {
-        Some(k) => (k >= 1 && k as usize <= on_groups.len())
-            .then_some(k as usize)
-            .into_iter()
-            .collect(),
-        None => (1..=on_groups.len()).collect(),
-    };
-    let best = sweep_on_chip(
-        spec,
-        &traffic,
-        &mut oracle,
-        lib,
-        &on_groups,
-        &counts,
-        time_s,
-        options,
-        workers,
-        &mut stats,
-    );
-    let (_, mut memories) = best.ok_or_else(|| ExploreError::NoFeasibleAssignment {
-        reason: match options.on_chip_memories {
-            Some(k) => format!("no feasible on-chip assignment with {k} memories"),
-            None => "no feasible on-chip assignment".to_owned(),
-        },
-    })?;
+        })?;
 
-    memories.extend(off_memories);
-    let cost = memories.iter().map(|m| m.cost).sum();
-    Ok((Organization { memories, cost }, stats))
+        memories.extend(off_memories);
+        let cost = memories.iter().map(|m| m.cost).sum();
+        Organization { memories, cost }
+    };
+
+    // Only successful solves are cached (and counted): like SCBD
+    // entries, errors are cheap to rediscover and never stored.
+    if let (Some(cache), Some(key)) = (cache, alloc_key.as_ref()) {
+        cache.note_alloc_miss();
+        cache.store_alloc(key, &org, &stats);
+    }
+    Ok((org, stats))
+}
+
+/// The [`cache::CacheKey`] under which [`assign_with_stats_cached`]
+/// would store this instance's solution — exposed for the cross-process
+/// cache tests, which need to hammer one concrete key.
+///
+/// # Errors
+///
+/// The key requires the accessed-group split, so an infeasible group
+/// layout errors exactly as [`assign`] would.
+#[doc(hidden)]
+pub fn alloc_cache_key(
+    spec: &AppSpec,
+    scbd: &ScbdResult,
+    lib: &MemLibrary,
+    options: &AllocOptions,
+) -> Result<cache::CacheKey, ExploreError> {
+    let traffic = group_traffic(spec);
+    let time_s = spec.real_time_seconds();
+    let oracle = PortOracle::new(spec, scbd);
+    let (off_groups, on_groups) = split_accessed_groups(spec, &traffic)?;
+    let instance =
+        alloc_instance_fingerprint(spec, &traffic, &oracle, &off_groups, &on_groups, time_s);
+    Ok(cache::CacheKey::alloc(instance, lib, options))
 }
 
 /// Splits the accessed basic groups into off-chip and on-chip candidate
@@ -923,6 +1068,7 @@ fn assign_off_chip(
     options: &AllocOptions,
     workers: usize,
     stats: &mut AllocStats,
+    cache: Option<&EvalCache>,
 ) -> Result<Vec<MemoryInstance>, ExploreError> {
     if groups.is_empty() {
         return Ok(Vec::new());
@@ -955,6 +1101,25 @@ fn assign_off_chip(
         oracle: oracle.clone(),
         cache: HashMap::new(),
     };
+
+    // Pre-seed the block pricer from a cached catalog when one exists.
+    // Prices are pure functions of (groups, slots, library), so a seeded
+    // memo changes nothing about the search — the same values would be
+    // recomputed lazily — and worker pricers clone the serial pricer
+    // *after* seeding, so every subtree benefits. Any subset superset
+    // of what this run will query is fine; extra masks are ignored.
+    let blocks_key = cache.map(|_| {
+        let instance = off_chip_blocks_fingerprint(spec, traffic, oracle, groups, time_s);
+        cache::CacheKey::off_chip_blocks(instance, lib)
+    });
+    let mut blocks_from_cache = false;
+    if let (Some(cache), Some(key)) = (cache, blocks_key.as_ref()) {
+        if let Some(entries) = cache.load_off_chip_blocks(key) {
+            cache.note_blocks_hit();
+            blocks_from_cache = true;
+            pricer.cache.extend(entries);
+        }
+    }
 
     // Greedy incumbent: only ever a pruning bound, never a result — the
     // reduction starts empty, so the canonical-first optimum the
@@ -1143,6 +1308,18 @@ fn assign_off_chip(
             reason: "off-chip groups overlap beyond dual-port bandwidth".to_owned(),
         });
     };
+    // Persist the serial pricer's memo for the next process. Only on a
+    // miss: on a hit the entry already exists (and a parallel run's
+    // serial memo would be a subset of what it was seeded with).
+    if let (Some(cache), Some(key)) = (cache, blocks_key.as_ref()) {
+        if !blocks_from_cache {
+            let mut entries: Vec<(u64, Option<f64>)> =
+                pricer.cache.iter().map(|(&m, &p)| (m, p)).collect();
+            entries.sort_unstable_by_key(|e| e.0);
+            cache.note_blocks_miss();
+            cache.store_off_chip_blocks(key, &entries);
+        }
+    }
     Ok(blocks
         .iter()
         .map(|&mask| ctx.build_memory(&mut pricer, mask))

@@ -7,21 +7,52 @@
 //! directory, carried across processes (and, via the CI cache, across
 //! whole workflow runs), turning the table/figure suite incremental.
 //!
+//! # Entry kinds
+//!
+//! The store holds three kinds of entries, each in its own
+//! subdirectory with its own `kind` discriminant in the record header:
+//!
+//! * **SCBD schedules** ([`EvalCache::distribute`]) — the storage-cycle
+//!   budget distribution of one spec at one budget,
+//! * **allocation solutions** ([`EvalCache::load_alloc`]) — the full
+//!   [`crate::alloc::Organization`] *and* the [`crate::alloc::AllocStats`]
+//!   of one solved allocation instance, so a hit short-circuits the
+//!   branch-and-bound entirely while `[alloc nodes: N]` telemetry
+//!   replays exactly what the stored solve cost,
+//! * **priced off-chip block catalogs**
+//!   ([`EvalCache::load_off_chip_blocks`]) — the lazy block-pricer memo
+//!   of one off-chip partition search, so even an allocation *miss*
+//!   (e.g. under a different node limit) starts with every subset it
+//!   will price already priced.
+//!
 //! # Keying
 //!
 //! An entry is addressed by a [`CacheKey`]:
 //!
-//! * the specification's [`AppSpec::content_hash`] (every field that
-//!   influences scheduling),
-//! * the cycle budget the schedule was distributed for,
-//! * a **model fingerprint** — a stable hash over the access-timing
-//!   constants and the scheduler's pressure weights, so recalibrating
-//!   the technology model or the balancing heuristic invalidates every
-//!   stale entry by construction (the key changes, old entries simply
-//!   stop being found),
-//! * a **knobs fingerprint** for solver options (currently the SCBD
-//!   algorithm revision; the distribution stage has no runtime knobs —
-//!   allocation options do not influence the schedule).
+//! * a **content hash**: for SCBD entries the specification's
+//!   [`AppSpec::content_hash`] (every field that influences
+//!   scheduling); for allocation entries a fingerprint of the *solver
+//!   inputs* — the accessed groups (dimensions, minimum ports,
+//!   traffic), the schedule's port-conflict slot table and the
+//!   real-time window — so two specs that induce the same allocation
+//!   instance share one entry,
+//! * a **budget**: the cycle budget for SCBD entries, the
+//!   branch-and-bound node limit for allocation entries (the incumbent
+//!   under an exhausted budget depends on it),
+//! * a **model fingerprint** — a stable hash over the model constants
+//!   feeding the result (access timing + scheduler pressure weights
+//!   for SCBD; the full [`memx_memlib::OnChipModel`], the off-chip part
+//!   catalog and the energy calibration factors for allocation), so
+//!   recalibrating the technology model invalidates every stale entry
+//!   by construction (the key changes, old entries simply stop being
+//!   found),
+//! * a **knobs fingerprint** for solver options: the per-kind
+//!   algorithm revision, plus — for allocation — every
+//!   [`crate::alloc::AllocOptions`] field that steers the result
+//!   (bound kind, memory-count constraint, cost weights, port cap).
+//!   Worker count is deliberately *excluded*: the solver is documented
+//!   (and CI-enforced) bit-identical for every worker count, so one
+//!   entry serves them all.
 //!
 //! # Format and robustness
 //!
@@ -75,8 +106,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use memx_ir::hash::StableHasher;
 use memx_ir::{AppSpec, BasicGroupId, LoopNestId};
-use memx_memlib::timing;
+use memx_memlib::{calibration, timing, CostBreakdown, MemLibrary, OffChipPart, OffChipSelection};
 
+use crate::alloc::{AllocOptions, AllocStats, BoundKind, MemoryInstance, MemoryKind, Organization};
 use crate::scbd::{self, BodySchedule, Occupant, PlacedAccess, ScbdResult};
 use crate::ExploreError;
 
@@ -85,9 +117,14 @@ const MAGIC: &[u8; 8] = b"MEMXEVC\0";
 /// On-disk format version. Bump on any layout change: old entries are
 /// then unreadable and silently recomputed.
 const FORMAT_VERSION: u32 = 1;
-/// Entry kind tag for SCBD schedules (room for future kinds, e.g.
-/// priced off-chip block catalogs).
+/// Entry kind tag for SCBD schedules.
 const KIND_SCBD: u32 = 1;
+/// Entry kind tag for full allocation solutions
+/// ([`Organization`] + [`AllocStats`]).
+const KIND_ALLOC: u32 = 2;
+/// Entry kind tag for priced off-chip block catalogs (the block-pricer
+/// memo of one off-chip partition search).
+const KIND_OFF_CHIP_BLOCKS: u32 = 3;
 /// Revision of the SCBD algorithm itself. Folded into the knobs
 /// fingerprint: an algorithm change produces different schedules, so it
 /// must miss all old entries.
@@ -102,6 +139,24 @@ const KIND_SCBD: u32 = 1;
 /// from the cross-commit carried cache against an uncached reference
 /// run of the current binaries.
 const SCBD_ALGO_REVISION: u64 = 1;
+/// Revision of the allocation solver. Folded into the knobs fingerprint
+/// of [`KIND_ALLOC`] entries.
+///
+/// **Bump this on any result-affecting code change** in `core::alloc` —
+/// bound formulas, tie-breaks, traversal order, the greedy seed, the
+/// float accumulation order. Numeric model constants and
+/// [`AllocOptions`] knobs are hashed into the fingerprints directly and
+/// need no bump; *structural* solver changes are what this revision
+/// exists for. Because cached entries replay [`AllocStats`] too, a
+/// pruning improvement that leaves results identical but changes node
+/// counts also warrants a bump, or warm `[alloc nodes: N]` lines keep
+/// reporting the retired heuristic's effort.
+const ALLOC_ALGO_REVISION: u64 = 1;
+/// Revision of the off-chip block pricer. Folded into the knobs
+/// fingerprint of [`KIND_OFF_CHIP_BLOCKS`] entries; bump on any change
+/// to how a group subset is priced (port gating, device ganging,
+/// the power formula's accumulation order).
+const OFF_CHIP_BLOCKS_ALGO_REVISION: u64 = 1;
 
 /// Stable fingerprint of everything *besides the spec and budget* that
 /// determines a storage-cycle-budget distribution: the access-timing
@@ -121,6 +176,42 @@ pub fn scbd_model_fingerprint() -> u64 {
     h.finish()
 }
 
+/// Stable fingerprint of the technology-model constants feeding an
+/// allocation result: the complete on-chip module-generator model, the
+/// off-chip part catalog (every datasheet row), the dual-port
+/// calibration factors and the burst energy discount. Recalibrating any
+/// of them (or swapping the catalog) changes this fingerprint and
+/// thereby the [`CacheKey`] of every allocation and block-catalog
+/// entry — stale entries are never even looked at.
+pub fn alloc_model_fingerprint(lib: &MemLibrary) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("alloc-model");
+    let on = lib.on_chip();
+    h.write_f64(on.area_per_bit_mm2());
+    h.write_f64(on.bank_words());
+    h.write_f64(on.module_overhead_mm2());
+    h.write_f64(on.decode_area_mm2());
+    h.write_f64(on.port_area_factor());
+    h.write_f64(on.energy_base_pj());
+    h.write_f64(on.energy_per_sqrt_word_pj());
+    h.write_f64(on.energy_width_offset());
+    h.write_f64(on.energy_width_norm());
+    h.write_f64(on.port_energy_factor());
+    let parts = lib.off_chip().parts();
+    h.write_u64(parts.len() as u64);
+    for p in parts {
+        h.write_str(p.name());
+        h.write_u64(p.words());
+        h.write_u64(u64::from(p.width()));
+        h.write_f64(p.energy_pj());
+        h.write_f64(p.static_mw());
+    }
+    h.write_f64(calibration::OFF_CHIP_TWO_PORT_ENERGY_FACTOR);
+    h.write_f64(calibration::OFF_CHIP_TWO_PORT_STATIC_FACTOR);
+    h.write_f64(timing::OFF_CHIP_BURST_ENERGY_FACTOR);
+    h.finish()
+}
+
 /// The full content address of one cache entry (see the module docs).
 ///
 /// The key is stored inside the entry and compared on read, so a
@@ -128,13 +219,18 @@ pub fn scbd_model_fingerprint() -> u64 {
 /// instead of serving the wrong payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheKey {
-    /// [`AppSpec::content_hash`] of the scheduled specification.
+    /// Content hash of the cached computation's input: the spec's
+    /// [`AppSpec::content_hash`] for SCBD entries, the allocation
+    /// instance fingerprint for allocation and block-catalog entries.
     pub content_hash: u64,
-    /// The cycle budget the schedule distributes.
+    /// The resource budget: cycle budget for SCBD entries, node limit
+    /// for allocation entries, unused (0) for block catalogs.
     pub budget: u64,
-    /// [`scbd_model_fingerprint`] at write time.
+    /// [`scbd_model_fingerprint`] or [`alloc_model_fingerprint`] at
+    /// write time.
     pub model_fingerprint: u64,
-    /// Solver-knob fingerprint (SCBD algorithm revision).
+    /// Solver-knob fingerprint (per-kind algorithm revision plus every
+    /// result-steering option).
     pub knobs_fingerprint: u64,
 }
 
@@ -150,6 +246,59 @@ impl CacheKey {
             content_hash: spec.content_hash(),
             budget,
             model_fingerprint: scbd_model_fingerprint(),
+            knobs_fingerprint: knobs.finish(),
+        }
+    }
+
+    /// The key under which the allocation solution of the instance
+    /// fingerprinted as `instance` is stored, for the given technology
+    /// library and solver options.
+    ///
+    /// `options.workers` is deliberately not part of the key: the
+    /// solver returns bit-identical organizations for every worker
+    /// count (CI-enforced), so one entry serves them all. Everything
+    /// else that steers the result — bound kind, memory-count
+    /// constraint, cost weights, port cap, node limit — is keyed.
+    pub fn alloc(instance: u64, lib: &MemLibrary, options: &AllocOptions) -> Self {
+        let mut knobs = StableHasher::new();
+        knobs.write_str("alloc-knobs");
+        knobs.write_u64(ALLOC_ALGO_REVISION);
+        knobs.write_u64(match options.bound {
+            BoundKind::Solo => 0,
+            BoundKind::Pairwise => 1,
+        });
+        match options.on_chip_memories {
+            None => knobs.write_u64(0),
+            Some(k) => {
+                knobs.write_u64(1);
+                knobs.write_u64(u64::from(k));
+            }
+        }
+        knobs.write_f64(options.area_weight);
+        knobs.write_f64(options.power_weight);
+        knobs.write_u64(u64::from(options.max_on_chip_ports));
+        CacheKey {
+            content_hash: instance,
+            budget: options.node_limit,
+            model_fingerprint: alloc_model_fingerprint(lib),
+            knobs_fingerprint: knobs.finish(),
+        }
+    }
+
+    /// The key under which the priced block catalog of the off-chip
+    /// instance fingerprinted as `instance` is stored. Block prices are
+    /// pure functions of the groups, the conflict slots and the
+    /// technology library — no [`AllocOptions`] field influences them —
+    /// so the budget slot is unused and the knobs fingerprint carries
+    /// only the pricer revision.
+    pub fn off_chip_blocks(instance: u64, lib: &MemLibrary) -> Self {
+        let mut knobs = StableHasher::new();
+        knobs.write_str("off-chip-blocks-knobs");
+        knobs.write_u64(OFF_CHIP_BLOCKS_ALGO_REVISION);
+        CacheKey {
+            content_hash: instance,
+            budget: 0,
+            model_fingerprint: alloc_model_fingerprint(lib),
             knobs_fingerprint: knobs.finish(),
         }
     }
@@ -174,10 +323,31 @@ pub struct CacheStats {
     pub scbd_hits: u64,
     /// Schedules recomputed (absent, stale-keyed or corrupt entries).
     pub scbd_misses: u64,
-    /// Entry writes that failed (full disk, permissions). Failures are
-    /// never fatal — the result was already computed — but a persistently
-    /// failing cache directory is worth surfacing.
-    pub write_failures: u64,
+    /// Schedule entry writes that failed (full disk, permissions).
+    /// Failures are never fatal — the result was already computed — but
+    /// a persistently failing cache directory is worth surfacing.
+    pub scbd_write_failures: u64,
+    /// Allocation solutions served from disk (each one a whole
+    /// branch-and-bound run skipped).
+    pub alloc_hits: u64,
+    /// Allocation solutions recomputed.
+    pub alloc_misses: u64,
+    /// Allocation entry writes that failed.
+    pub alloc_write_failures: u64,
+    /// Priced off-chip block catalogs served from disk (pre-seeding the
+    /// block pricer of an allocation recompute).
+    pub blocks_hits: u64,
+    /// Priced block catalogs recomputed.
+    pub blocks_misses: u64,
+    /// Block-catalog entry writes that failed.
+    pub blocks_write_failures: u64,
+}
+
+impl CacheStats {
+    /// Failed entry writes summed over every entry kind.
+    pub fn write_failures(&self) -> u64 {
+        self.scbd_write_failures + self.alloc_write_failures + self.blocks_write_failures
+    }
 }
 
 /// Errors opening a cache directory.
@@ -224,10 +394,32 @@ impl Error for CacheError {
 #[derive(Debug)]
 pub struct EvalCache {
     root: PathBuf,
-    scbd_hits: AtomicU64,
-    scbd_misses: AtomicU64,
-    write_failures: AtomicU64,
+    scbd: KindCounters,
+    alloc: KindCounters,
+    blocks: KindCounters,
     tmp_seq: AtomicU64,
+}
+
+/// Hit/miss/write-failure counters of one entry kind.
+#[derive(Debug, Default)]
+struct KindCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    write_failures: AtomicU64,
+}
+
+impl KindCounters {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn write_failure(&self) {
+        self.write_failures.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl EvalCache {
@@ -240,16 +432,18 @@ impl EvalCache {
     /// after `open` degrades silently (see the module docs).
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, CacheError> {
         let root = dir.as_ref().to_path_buf();
-        let scbd_dir = root.join("scbd");
-        fs::create_dir_all(&scbd_dir).map_err(|source| CacheError::Io {
-            path: scbd_dir.clone(),
-            source,
-        })?;
+        for kind_dir in ["scbd", "alloc", "offblocks"] {
+            let dir = root.join(kind_dir);
+            fs::create_dir_all(&dir).map_err(|source| CacheError::Io {
+                path: dir.clone(),
+                source,
+            })?;
+        }
         Ok(EvalCache {
             root,
-            scbd_hits: AtomicU64::new(0),
-            scbd_misses: AtomicU64::new(0),
-            write_failures: AtomicU64::new(0),
+            scbd: KindCounters::default(),
+            alloc: KindCounters::default(),
+            blocks: KindCounters::default(),
             tmp_seq: AtomicU64::new(0),
         })
     }
@@ -259,12 +453,18 @@ impl EvalCache {
         &self.root
     }
 
-    /// A snapshot of the hit/miss/write-failure counters.
+    /// A snapshot of the per-kind hit/miss/write-failure counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            scbd_hits: self.scbd_hits.load(Ordering::Relaxed),
-            scbd_misses: self.scbd_misses.load(Ordering::Relaxed),
-            write_failures: self.write_failures.load(Ordering::Relaxed),
+            scbd_hits: self.scbd.hits.load(Ordering::Relaxed),
+            scbd_misses: self.scbd.misses.load(Ordering::Relaxed),
+            scbd_write_failures: self.scbd.write_failures.load(Ordering::Relaxed),
+            alloc_hits: self.alloc.hits.load(Ordering::Relaxed),
+            alloc_misses: self.alloc.misses.load(Ordering::Relaxed),
+            alloc_write_failures: self.alloc.write_failures.load(Ordering::Relaxed),
+            blocks_hits: self.blocks.hits.load(Ordering::Relaxed),
+            blocks_misses: self.blocks.misses.load(Ordering::Relaxed),
+            blocks_write_failures: self.blocks.write_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -284,38 +484,115 @@ impl EvalCache {
     pub fn distribute(&self, spec: &AppSpec, budget: u64) -> Result<ScbdResult, ExploreError> {
         let key = CacheKey::scbd(spec, budget);
         if let Some(result) = self.load_scbd(&key) {
-            self.scbd_hits.fetch_add(1, Ordering::Relaxed);
+            self.scbd.hit();
             return Ok(result);
         }
         let result = scbd::distribute_with_budget(spec, budget)?;
-        self.scbd_misses.fetch_add(1, Ordering::Relaxed);
+        self.scbd.miss();
         self.store_scbd(&key, &result);
         Ok(result)
     }
 
-    /// Reads the entry addressed by `key`, or `None` on absence *or any
-    /// corruption* (truncation, bad magic/version/checksum, key-echo
-    /// mismatch). Does not touch the hit/miss counters — the policy
-    /// layer ([`EvalCache::distribute`]) owns those.
+    /// Reads the schedule entry addressed by `key`, or `None` on
+    /// absence *or any corruption* (truncation, bad
+    /// magic/version/checksum, key-echo mismatch). Does not touch the
+    /// hit/miss counters — the policy layer ([`EvalCache::distribute`])
+    /// owns those.
     pub fn load_scbd(&self, key: &CacheKey) -> Option<ScbdResult> {
-        let path = self.scbd_path(key);
-        let bytes = fs::read(path).ok()?;
-        decode_entry(&bytes, key)
+        let bytes = fs::read(self.scbd_path(key)).ok()?;
+        decode_scbd(decode_entry(&bytes, key, KIND_SCBD)?)
     }
 
     /// Publishes `result` under `key` via tempfile + atomic rename.
-    /// Failures tick [`CacheStats::write_failures`] and are otherwise
-    /// ignored — the caller already holds the computed result.
+    /// Failures tick [`CacheStats::scbd_write_failures`] and are
+    /// otherwise ignored — the caller already holds the computed result.
     pub fn store_scbd(&self, key: &CacheKey, result: &ScbdResult) {
-        let bytes = encode_entry(key, result);
-        let path = self.scbd_path(key);
-        if self.write_atomically(&path, &bytes).is_none() {
-            self.write_failures.fetch_add(1, Ordering::Relaxed);
+        let bytes = encode_entry(key, KIND_SCBD, encode_scbd(result));
+        if self
+            .write_atomically(&self.scbd_path(key), &bytes)
+            .is_none()
+        {
+            self.scbd.write_failure();
         }
+    }
+
+    /// Reads the allocation solution addressed by `key` — the complete
+    /// [`Organization`] plus the [`AllocStats`] of the stored solve, so
+    /// a hit replays the recorded search effort instead of reporting a
+    /// free lunch. `None` on absence or any corruption; counters are
+    /// owned by the policy layer
+    /// ([`crate::alloc::assign_with_stats_cached`]).
+    pub fn load_alloc(&self, key: &CacheKey) -> Option<(Organization, AllocStats)> {
+        let bytes = fs::read(self.alloc_path(key)).ok()?;
+        decode_alloc(decode_entry(&bytes, key, KIND_ALLOC)?)
+    }
+
+    /// Publishes an allocation solution under `key`. Failures tick
+    /// [`CacheStats::alloc_write_failures`] and are otherwise ignored.
+    pub fn store_alloc(&self, key: &CacheKey, org: &Organization, stats: &AllocStats) {
+        let bytes = encode_entry(key, KIND_ALLOC, encode_alloc(org, stats));
+        if self
+            .write_atomically(&self.alloc_path(key), &bytes)
+            .is_none()
+        {
+            self.alloc.write_failure();
+        }
+    }
+
+    /// Reads the priced off-chip block catalog addressed by `key`: the
+    /// `(subset mask, price)` memo a previous partition search built,
+    /// used to pre-seed the block pricer. `None` on absence or any
+    /// corruption.
+    pub fn load_off_chip_blocks(&self, key: &CacheKey) -> Option<Vec<(u64, Option<f64>)>> {
+        let bytes = fs::read(self.blocks_path(key)).ok()?;
+        decode_blocks(decode_entry(&bytes, key, KIND_OFF_CHIP_BLOCKS)?)
+    }
+
+    /// Publishes a priced block catalog under `key`. Failures tick
+    /// [`CacheStats::blocks_write_failures`] and are otherwise ignored.
+    pub fn store_off_chip_blocks(&self, key: &CacheKey, entries: &[(u64, Option<f64>)]) {
+        let bytes = encode_entry(key, KIND_OFF_CHIP_BLOCKS, encode_blocks(entries));
+        if self
+            .write_atomically(&self.blocks_path(key), &bytes)
+            .is_none()
+        {
+            self.blocks.write_failure();
+        }
+    }
+
+    /// Ticks the allocation hit counter (policy layer lives in
+    /// `crate::alloc`, which owns the load/compute/store decision).
+    pub(crate) fn note_alloc_hit(&self) {
+        self.alloc.hit();
+    }
+
+    /// Ticks the allocation miss counter.
+    pub(crate) fn note_alloc_miss(&self) {
+        self.alloc.miss();
+    }
+
+    /// Ticks the block-catalog hit counter.
+    pub(crate) fn note_blocks_hit(&self) {
+        self.blocks.hit();
+    }
+
+    /// Ticks the block-catalog miss counter.
+    pub(crate) fn note_blocks_miss(&self) {
+        self.blocks.miss();
     }
 
     fn scbd_path(&self, key: &CacheKey) -> PathBuf {
         self.root.join("scbd").join(key.file_name(KIND_SCBD))
+    }
+
+    fn alloc_path(&self, key: &CacheKey) -> PathBuf {
+        self.root.join("alloc").join(key.file_name(KIND_ALLOC))
+    }
+
+    fn blocks_path(&self, key: &CacheKey) -> PathBuf {
+        self.root
+            .join("offblocks")
+            .join(key.file_name(KIND_OFF_CHIP_BLOCKS))
     }
 
     /// Tempfile-then-rename publication; `None` on any I/O failure.
@@ -360,15 +637,16 @@ pub fn distribute_cached(
 
 // --- binary entry format -------------------------------------------------
 
-fn encode_entry(key: &CacheKey, result: &ScbdResult) -> Vec<u8> {
-    let payload = encode_scbd(result);
+/// Frames a payload with the shared record envelope: magic, version,
+/// kind discriminant, full key echo, length prefix and checksum.
+fn encode_entry(key: &CacheKey, kind: u32, payload: Vec<u8>) -> Vec<u8> {
     let mut checksum = StableHasher::new();
     checksum.write_bytes(&payload);
 
     let mut out = Vec::with_capacity(payload.len() + 64);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out.extend_from_slice(&KIND_SCBD.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
     out.extend_from_slice(&key.content_hash.to_le_bytes());
     out.extend_from_slice(&key.budget.to_le_bytes());
     out.extend_from_slice(&key.model_fingerprint.to_le_bytes());
@@ -379,12 +657,14 @@ fn encode_entry(key: &CacheKey, result: &ScbdResult) -> Vec<u8> {
     out
 }
 
-fn decode_entry(bytes: &[u8], key: &CacheKey) -> Option<ScbdResult> {
+/// Validates the shared envelope and returns the payload slice, or
+/// `None` on any anomaly (the caller treats that as a miss).
+fn decode_entry<'a>(bytes: &'a [u8], key: &CacheKey, kind: u32) -> Option<&'a [u8]> {
     let mut r = Reader::new(bytes);
     if r.take(MAGIC.len())? != MAGIC.as_slice() {
         return None;
     }
-    if r.u32()? != FORMAT_VERSION || r.u32()? != KIND_SCBD {
+    if r.u32()? != FORMAT_VERSION || r.u32()? != kind {
         return None;
     }
     let echoed = CacheKey {
@@ -403,7 +683,7 @@ fn decode_entry(bytes: &[u8], key: &CacheKey) -> Option<ScbdResult> {
     if r.u64()? != checksum.finish() || !r.at_end() {
         return None;
     }
-    decode_scbd(payload)
+    Some(payload)
 }
 
 fn encode_scbd(result: &ScbdResult) -> Vec<u8> {
@@ -478,8 +758,183 @@ fn decode_scbd(payload: &[u8]) -> Option<ScbdResult> {
     })
 }
 
+/// Minimum encoded bytes per memory record (no groups, on-chip): group
+/// count + words + width + ports + kind tag + cost triple.
+const MIN_MEMORY_BYTES: usize = 4 * 8 + 1 + 3 * 8;
+
+fn encode_alloc(org: &Organization, stats: &AllocStats) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u64(&mut out, org.memories.len() as u64);
+    for m in &org.memories {
+        push_u64(&mut out, m.groups.len() as u64);
+        for g in &m.groups {
+            push_u64(&mut out, g.index() as u64);
+        }
+        push_u64(&mut out, m.words);
+        push_u64(&mut out, u64::from(m.width));
+        push_u64(&mut out, u64::from(m.ports));
+        match &m.kind {
+            MemoryKind::OnChip => out.push(0),
+            MemoryKind::OffChip(sel) => {
+                out.push(1);
+                push_str(&mut out, sel.part().name());
+                push_u64(&mut out, sel.part().words());
+                push_u64(&mut out, u64::from(sel.part().width()));
+                push_f64(&mut out, sel.part().energy_pj());
+                push_f64(&mut out, sel.part().static_mw());
+                push_u64(&mut out, u64::from(sel.devices_wide()));
+                push_u64(&mut out, u64::from(sel.ranks()));
+                push_u64(&mut out, u64::from(sel.ports()));
+            }
+        }
+        push_cost(&mut out, &m.cost);
+    }
+    push_cost(&mut out, &org.cost);
+    push_u64(&mut out, stats.bb_nodes);
+    push_u64(&mut out, stats.sweep_skips);
+    push_u64(&mut out, stats.off_chip_partitions);
+    push_u64(&mut out, stats.off_chip_bb_nodes);
+    push_u64(&mut out, stats.off_chip_pruned_subtrees);
+    push_u64(&mut out, stats.off_chip_exhaustive_partitions);
+    out
+}
+
+fn decode_alloc(payload: &[u8]) -> Option<(Organization, AllocStats)> {
+    let mut r = Reader::new(payload);
+    let memory_count = r.count_prefix(MIN_MEMORY_BYTES)?;
+    let mut memories = Vec::with_capacity(memory_count);
+    for _ in 0..memory_count {
+        let group_count = r.count_prefix(8)?;
+        let mut groups = Vec::with_capacity(group_count);
+        for _ in 0..group_count {
+            groups.push(BasicGroupId::from_index(usize::try_from(r.u64()?).ok()?));
+        }
+        let words = r.u64()?;
+        let width = u32::try_from(r.u64()?).ok()?;
+        let ports = u32::try_from(r.u64()?).ok()?;
+        let kind = match r.u8()? {
+            0 => MemoryKind::OnChip,
+            1 => {
+                // Every constructor precondition is validated *before*
+                // construction: a corrupt entry must read as a miss,
+                // not panic inside `OffChipPart::new`.
+                let name = r.string()?;
+                let part_words = r.u64()?;
+                let part_width = u32::try_from(r.u64()?).ok()?;
+                let energy_pj = r.f64()?;
+                let static_mw = r.f64()?;
+                let devices_wide = u32::try_from(r.u64()?).ok()?;
+                let ranks = u32::try_from(r.u64()?).ok()?;
+                let sel_ports = u32::try_from(r.u64()?).ok()?;
+                if part_words == 0 || part_width == 0 {
+                    return None;
+                }
+                if !(energy_pj.is_finite() && energy_pj > 0.0) {
+                    return None;
+                }
+                if !(static_mw.is_finite() && static_mw > 0.0) {
+                    return None;
+                }
+                if devices_wide == 0 || ranks == 0 || !(1..=2).contains(&sel_ports) {
+                    return None;
+                }
+                let part = OffChipPart::new(name, part_words, part_width, energy_pj, static_mw);
+                MemoryKind::OffChip(OffChipSelection::from_parts(
+                    part,
+                    devices_wide,
+                    ranks,
+                    sel_ports,
+                ))
+            }
+            _ => return None,
+        };
+        let cost = read_cost(&mut r)?;
+        memories.push(MemoryInstance {
+            groups,
+            words,
+            width,
+            ports,
+            kind,
+            cost,
+        });
+    }
+    let cost = read_cost(&mut r)?;
+    let stats = AllocStats {
+        bb_nodes: r.u64()?,
+        sweep_skips: r.u64()?,
+        off_chip_partitions: r.u64()?,
+        off_chip_bb_nodes: r.u64()?,
+        off_chip_pruned_subtrees: r.u64()?,
+        off_chip_exhaustive_partitions: r.u64()?,
+    };
+    if !r.at_end() {
+        return None;
+    }
+    Some((Organization { memories, cost }, stats))
+}
+
+/// Encoded bytes per block-catalog record: mask + presence flag (the
+/// optional price only follows a `1` flag).
+const MIN_BLOCK_BYTES: usize = 8 + 1;
+
+fn encode_blocks(entries: &[(u64, Option<f64>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u64(&mut out, entries.len() as u64);
+    for &(mask, price) in entries {
+        push_u64(&mut out, mask);
+        match price {
+            None => out.push(0),
+            Some(p) => {
+                out.push(1);
+                push_f64(&mut out, p);
+            }
+        }
+    }
+    out
+}
+
+fn decode_blocks(payload: &[u8]) -> Option<Vec<(u64, Option<f64>)>> {
+    let mut r = Reader::new(payload);
+    let count = r.count_prefix(MIN_BLOCK_BYTES)?;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mask = r.u64()?;
+        let price = match r.u8()? {
+            0 => None,
+            1 => Some(r.f64()?),
+            _ => return None,
+        };
+        entries.push((mask, price));
+    }
+    if !r.at_end() {
+        return None;
+    }
+    Some(entries)
+}
+
 fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Floats are stored by bit pattern, so every value (including -0.0 and
+/// the exact accumulation results tie-breaks depend on) round trips
+/// bit-identically.
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    push_u64(out, v.to_bits());
+}
+
+fn push_cost(out: &mut Vec<u8>, c: &CostBreakdown) {
+    push_f64(out, c.on_chip_area_mm2);
+    push_f64(out, c.on_chip_power_mw);
+    push_f64(out, c.off_chip_power_mw);
+}
+
+fn read_cost(r: &mut Reader<'_>) -> Option<CostBreakdown> {
+    Some(CostBreakdown {
+        on_chip_area_mm2: r.f64()?,
+        on_chip_power_mw: r.f64()?,
+        off_chip_power_mw: r.f64()?,
+    })
 }
 
 fn push_str(out: &mut Vec<u8>, s: &str) {
@@ -525,6 +980,11 @@ impl<'a> Reader<'a> {
 
     fn u64(&mut self) -> Option<u64> {
         Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// A float stored by bit pattern (see [`push_f64`]).
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
     }
 
     /// A length prefix, rejected when absurd (see [`Self::MAX_LEN`]).
@@ -621,7 +1081,7 @@ mod tests {
         assert_same(&direct, &warm);
         let stats = cache.stats();
         assert_eq!((stats.scbd_hits, stats.scbd_misses), (1, 1));
-        assert_eq!(stats.write_failures, 0);
+        assert_eq!(stats.write_failures(), 0);
         // A second handle on the same directory hits immediately:
         // persistence across processes in miniature.
         let other = EvalCache::open(&dir).unwrap();
@@ -837,7 +1297,208 @@ mod tests {
         result.unwrap();
         let stats = cache.stats();
         assert_eq!(stats.scbd_misses, 1);
-        assert!(stats.write_failures <= 1);
+        assert!(stats.scbd_write_failures <= 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    // --- allocation and block-catalog entry kinds ------------------------
+
+    fn alloc_solution() -> (Organization, AllocStats, memx_memlib::MemLibrary) {
+        let spec = spec();
+        let lib = memx_memlib::MemLibrary::default_07um();
+        let schedule = scbd::distribute_with_budget(&spec, 10_000).unwrap();
+        let (org, stats) =
+            crate::alloc::assign_with_stats(&spec, &schedule, &lib, &AllocOptions::default())
+                .unwrap();
+        (org, stats, lib)
+    }
+
+    fn assert_same_org(a: &Organization, b: &Organization) {
+        assert_eq!(a.memories.len(), b.memories.len());
+        for (x, y) in a.memories.iter().zip(&b.memories) {
+            assert_eq!(x, y);
+            // `PartialEq` admits 0.0 == -0.0; the cache promises *bit*
+            // identity, so compare the float patterns too.
+            assert_eq!(
+                x.cost.off_chip_power_mw.to_bits(),
+                y.cost.off_chip_power_mw.to_bits()
+            );
+            assert_eq!(
+                x.cost.on_chip_area_mm2.to_bits(),
+                y.cost.on_chip_area_mm2.to_bits()
+            );
+            assert_eq!(
+                x.cost.on_chip_power_mw.to_bits(),
+                y.cost.on_chip_power_mw.to_bits()
+            );
+        }
+        assert_eq!(
+            a.cost.on_chip_area_mm2.to_bits(),
+            b.cost.on_chip_area_mm2.to_bits()
+        );
+        assert_eq!(
+            a.cost.on_chip_power_mw.to_bits(),
+            b.cost.on_chip_power_mw.to_bits()
+        );
+        assert_eq!(
+            a.cost.off_chip_power_mw.to_bits(),
+            b.cost.off_chip_power_mw.to_bits()
+        );
+    }
+
+    #[test]
+    fn alloc_round_trip_is_bit_identical() {
+        let dir = tempdir("alloc-roundtrip");
+        let cache = EvalCache::open(&dir).unwrap();
+        let (org, stats, lib) = alloc_solution();
+        assert!(
+            org.off_chip_count() >= 1,
+            "fixture must exercise the off-chip arm"
+        );
+        let key = CacheKey::alloc(0x5EED, &lib, &AllocOptions::default());
+        assert!(cache.load_alloc(&key).is_none());
+        cache.store_alloc(&key, &org, &stats);
+        let (loaded_org, loaded_stats) = cache.load_alloc(&key).unwrap();
+        assert_same_org(&org, &loaded_org);
+        assert_eq!(stats, loaded_stats);
+        assert_eq!(cache.stats().write_failures(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn alloc_stale_key_misses() {
+        let dir = tempdir("alloc-stale");
+        let cache = EvalCache::open(&dir).unwrap();
+        let (org, stats, lib) = alloc_solution();
+        let options = AllocOptions::default();
+        let key = CacheKey::alloc(7, &lib, &options);
+        cache.store_alloc(&key, &org, &stats);
+        assert!(cache.load_alloc(&key).is_some());
+        // A recalibrated model constant moves the model fingerprint.
+        let recalibrated = CacheKey {
+            model_fingerprint: key.model_fingerprint ^ 1,
+            ..key
+        };
+        assert!(cache.load_alloc(&recalibrated).is_none());
+        // A different bound is a different knobs fingerprint…
+        let other_bound = CacheKey::alloc(
+            7,
+            &lib,
+            &AllocOptions {
+                bound: BoundKind::Solo,
+                ..options.clone()
+            },
+        );
+        assert_ne!(key.knobs_fingerprint, other_bound.knobs_fingerprint);
+        assert!(cache.load_alloc(&other_bound).is_none());
+        // …and a different node limit a different budget slot.
+        let other_limit = CacheKey::alloc(
+            7,
+            &lib,
+            &AllocOptions {
+                node_limit: options.node_limit + 1,
+                ..options.clone()
+            },
+        );
+        assert_ne!(key.budget, other_limit.budget);
+        assert!(cache.load_alloc(&other_limit).is_none());
+        // Worker count is *not* keyed: the solver is bit-identical per
+        // worker count, so one entry serves them all.
+        let other_workers = CacheKey::alloc(
+            7,
+            &lib,
+            &AllocOptions {
+                workers: 8,
+                ..options
+            },
+        );
+        assert_eq!(key, other_workers);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn alloc_corrupt_entries_degrade_to_miss() {
+        let dir = tempdir("alloc-corrupt");
+        let cache = EvalCache::open(&dir).unwrap();
+        let (org, stats, lib) = alloc_solution();
+        let key = CacheKey::alloc(11, &lib, &AllocOptions::default());
+        cache.store_alloc(&key, &org, &stats);
+        let path = cache.alloc_path(&key);
+        let good = fs::read(&path).unwrap();
+        for keep in [0, 4, MAGIC.len(), 20, good.len() / 2, good.len() - 1] {
+            fs::write(&path, &good[..keep]).unwrap();
+            assert!(
+                cache.load_alloc(&key).is_none(),
+                "truncation to {keep} bytes must read as a miss"
+            );
+        }
+        fs::write(&path, b"not a cache entry").unwrap();
+        assert!(cache.load_alloc(&key).is_none());
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        assert!(cache.load_alloc(&key).is_none());
+        // A re-store repairs the entry.
+        cache.store_alloc(&key, &org, &stats);
+        assert!(cache.load_alloc(&key).is_some());
+        // A kind mixup — a block-catalog entry copied over an allocation
+        // entry's filename — is rejected by the kind discriminant.
+        let bkey = CacheKey::off_chip_blocks(11, &lib);
+        cache.store_off_chip_blocks(&bkey, &[(1, Some(2.0))]);
+        fs::copy(cache.blocks_path(&bkey), &path).unwrap();
+        assert!(cache.load_alloc(&key).is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn alloc_checksum_consistent_giant_count_is_rejected() {
+        let dir = tempdir("alloc-giant");
+        let cache = EvalCache::open(&dir).unwrap();
+        let (_, _, lib) = alloc_solution();
+        let key = CacheKey::alloc(13, &lib, &AllocOptions::default());
+        for claimed in [u64::MAX / 2, 1 << 32, 1 << 20, 2] {
+            let mut payload = Vec::new();
+            push_u64(&mut payload, claimed); // memory count, nothing behind it
+            let bytes = encode_entry(&key, KIND_ALLOC, payload);
+            fs::write(cache.alloc_path(&key), &bytes).unwrap();
+            assert!(
+                cache.load_alloc(&key).is_none(),
+                "claimed count {claimed} must be a miss"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn blocks_round_trip_preserves_price_bits() {
+        let dir = tempdir("blocks-roundtrip");
+        let cache = EvalCache::open(&dir).unwrap();
+        let (_, _, lib) = alloc_solution();
+        let key = CacheKey::off_chip_blocks(42, &lib);
+        // Include infeasible (None) prices and awkward float patterns:
+        // the memo must round trip bit for bit.
+        let entries: Vec<(u64, Option<f64>)> = vec![
+            (0b01, Some(3.5)),
+            (0b10, None),
+            (0b11, Some(-0.0)),
+            (u64::MAX, Some(f64::MIN_POSITIVE)),
+        ];
+        assert!(cache.load_off_chip_blocks(&key).is_none());
+        cache.store_off_chip_blocks(&key, &entries);
+        let loaded = cache.load_off_chip_blocks(&key).unwrap();
+        assert_eq!(entries.len(), loaded.len());
+        for ((m, p), (lm, lp)) in entries.iter().zip(&loaded) {
+            assert_eq!(m, lm);
+            assert_eq!(p.map(f64::to_bits), lp.map(f64::to_bits));
+        }
+        // Corrupt presence flag: a miss, not a misparse.
+        let path = cache.blocks_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        let flag_pos = bytes.len() - 8 /* checksum */ - 8 /* price */ - 1;
+        bytes[flag_pos] = 7;
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load_off_chip_blocks(&key).is_none());
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -61,7 +61,7 @@ use memx_ir::AppSpec;
 use memx_memlib::MemLibrary;
 
 use crate::cache::{self, EvalCache};
-use crate::explore::{evaluate_scheduled, CostReport, EvaluateOptions, Exploration};
+use crate::explore::{evaluate_scheduled_cached, CostReport, EvaluateOptions, Exploration};
 use crate::scbd::ScbdResult;
 use crate::ExploreError;
 
@@ -222,7 +222,15 @@ impl<'l> Engine<'l> {
             if options.alloc.workers == 0 {
                 options.alloc.workers = alloc_workers;
             }
-            let mut report = evaluate_scheduled(point.spec, self.lib, schedule?, &options)?;
+            // The cache serves both stages: schedules in phase 1 (see
+            // `distribute_cached` below) and allocation solutions here.
+            let mut report = evaluate_scheduled_cached(
+                point.spec,
+                self.lib,
+                schedule?,
+                &options,
+                self.cache.as_deref(),
+            )?;
             report.label = point.label.clone();
             Ok(report)
         };
@@ -592,6 +600,7 @@ mod tests {
         let plain = Engine::with_workers(&lib, 2).evaluate_many(&points);
         // Cold pass fills the cache, warm pass is served from it; both
         // must equal the uncached reports exactly.
+        let mut cold_stats = None;
         for pass in ["cold", "warm"] {
             let engine = Engine::with_workers(&lib, 2).with_eval_cache(Some(Arc::clone(&cache)));
             for (result, reference) in engine.evaluate_many(&points).iter().zip(&plain) {
@@ -599,6 +608,7 @@ mod tests {
                     (Ok(a), Ok(b)) => {
                         assert_eq!(a.cost, b.cost, "{pass}");
                         assert_eq!(a.organization, b.organization, "{pass}");
+                        assert_eq!(a.alloc_stats, b.alloc_stats, "{pass}: replayed stats");
                         assert_eq!(a.schedule.bodies.len(), b.schedule.bodies.len(), "{pass}");
                         for (x, y) in a.schedule.bodies.iter().zip(&b.schedule.bodies) {
                             assert_eq!(x.placements(), y.placements(), "{pass}");
@@ -608,12 +618,36 @@ mod tests {
                     (a, b) => panic!("{pass}: cached {a:?} vs plain {b:?}"),
                 }
             }
+            if pass == "cold" {
+                cold_stats = Some(cache.stats());
+            }
         }
         let stats = cache.stats();
         // Three schedulable unique budgets; the fourth fails (too
         // tight) and errors are never cached.
         assert_eq!(stats.scbd_misses, 3, "cold pass computes each schedule");
         assert_eq!(stats.scbd_hits, 3, "warm pass serves each from disk");
+        // Every successful evaluation resolves its allocation against
+        // the cache exactly once; the cold pass may already share
+        // entries between points (the instance fingerprint ignores the
+        // budget when the conflict structure coincides), so only the
+        // sum is pinned cold while the warm pass must be all hits.
+        let cold = cold_stats.unwrap();
+        assert_eq!(
+            cold.alloc_hits + cold.alloc_misses,
+            3,
+            "cold pass resolves each allocation once"
+        );
+        assert!(cold.alloc_misses >= 1, "a cold cache cannot hit first");
+        assert_eq!(
+            stats.alloc_misses, cold.alloc_misses,
+            "warm pass recomputes no allocation"
+        );
+        assert_eq!(
+            stats.alloc_hits,
+            cold.alloc_hits + 3,
+            "warm pass serves every allocation from disk"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

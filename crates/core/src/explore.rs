@@ -13,7 +13,9 @@ use std::fmt;
 use memx_ir::AppSpec;
 use memx_memlib::{CostBreakdown, MemLibrary};
 
-use crate::alloc::{assign_with_stats, check_cost_weights, AllocOptions, AllocStats, Organization};
+use crate::alloc::{
+    assign_with_stats_cached, check_cost_weights, AllocOptions, AllocStats, Organization,
+};
 use crate::cache::{self, EvalCache};
 use crate::macp;
 use crate::scbd::ScbdResult;
@@ -67,11 +69,11 @@ pub fn evaluate(
     evaluate_with_cache(spec, lib, None, options)
 }
 
-/// Runs SCBD + allocation/assignment on one variant, serving the
-/// schedule from the persistent evaluation cache when one is given (and
-/// publishing freshly computed schedules to it). Results are
-/// bit-identical to [`evaluate`] — the cache only changes the work, not
-/// the answer (see [`crate::cache`]).
+/// Runs SCBD + allocation/assignment on one variant, serving *both
+/// stages* from the persistent evaluation cache when one is given (and
+/// publishing freshly computed schedules and allocation solutions to
+/// it). Results are bit-identical to [`evaluate`] — the cache only
+/// changes the work, not the answer (see [`crate::cache`]).
 ///
 /// # Errors
 ///
@@ -85,7 +87,7 @@ pub fn evaluate_with_cache(
 ) -> Result<CostReport, ExploreError> {
     let budget = options.cycle_budget.unwrap_or_else(|| spec.cycle_budget());
     let schedule = cache::distribute_cached(spec, budget, eval_cache)?;
-    evaluate_scheduled(spec, lib, schedule, options)
+    evaluate_scheduled_cached(spec, lib, schedule, options, eval_cache)
 }
 
 /// Runs allocation/assignment on an already-distributed schedule.
@@ -105,7 +107,27 @@ pub fn evaluate_scheduled(
     schedule: ScbdResult,
     options: &EvaluateOptions,
 ) -> Result<CostReport, ExploreError> {
-    let (organization, alloc_stats) = assign_with_stats(spec, &schedule, lib, &options.alloc)?;
+    evaluate_scheduled_cached(spec, lib, schedule, options, None)
+}
+
+/// [`evaluate_scheduled`] with an optional persistent cache for the
+/// allocation stage: a cached allocation solution short-circuits the
+/// branch-and-bound entirely (stats replayed, results bit-identical —
+/// see [`crate::alloc::assign_with_stats_cached`]).
+///
+/// # Errors
+///
+/// As for [`evaluate_scheduled`]; the cache itself never fails an
+/// evaluation.
+pub fn evaluate_scheduled_cached(
+    spec: &AppSpec,
+    lib: &MemLibrary,
+    schedule: ScbdResult,
+    options: &EvaluateOptions,
+    eval_cache: Option<&EvalCache>,
+) -> Result<CostReport, ExploreError> {
+    let (organization, alloc_stats) =
+        assign_with_stats_cached(spec, &schedule, lib, &options.alloc, eval_cache)?;
     let report = macp::analyze(spec);
     Ok(CostReport {
         label: spec.name().to_owned(),

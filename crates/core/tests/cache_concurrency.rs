@@ -1,20 +1,24 @@
 //! Cross-process robustness of the persistent evaluation cache: two
 //! *real* processes hammering the same key must never make a reader
-//! observe a torn entry, and the surviving entry must be valid.
+//! observe a torn entry, and the surviving entry must be valid — for
+//! schedule entries and for allocation entries alike.
 //!
 //! The writer processes are this test binary re-executed with
-//! `MEMX_CACHE_TEST_CHILD_DIR` set, filtered to the
-//! [`concurrent_writer_child`] helper (which is a no-op under a normal
-//! test run).
+//! `MEMX_CACHE_TEST_CHILD_DIR` (or `MEMX_CACHE_TEST_ALLOC_CHILD_DIR`)
+//! set, filtered to the matching `*_writer_child` helper (which is a
+//! no-op under a normal test run).
 
 use std::path::PathBuf;
 use std::process::Command;
 
+use memx_core::alloc::{alloc_cache_key, assign_with_stats, AllocOptions};
 use memx_core::cache::{CacheKey, EvalCache};
 use memx_core::scbd;
 use memx_ir::{AccessKind, AppSpec, AppSpecBuilder};
+use memx_memlib::MemLibrary;
 
 const CHILD_DIR_ENV: &str = "MEMX_CACHE_TEST_CHILD_DIR";
+const ALLOC_CHILD_DIR_ENV: &str = "MEMX_CACHE_TEST_ALLOC_CHILD_DIR";
 const BUDGET: u64 = 10_000;
 /// Stores per writer process: enough rename races to matter, few enough
 /// to finish instantly.
@@ -50,7 +54,95 @@ fn concurrent_writer_child() {
     for _ in 0..CHILD_STORES {
         cache.store_scbd(&key, &result);
     }
-    assert_eq!(cache.stats().write_failures, 0, "child writes must land");
+    assert_eq!(cache.stats().write_failures(), 0, "child writes must land");
+}
+
+/// The allocation instance both processes agree on: the shared spec's
+/// schedule solved with one worker (fully deterministic, so both
+/// writers publish byte-identical entries).
+fn shared_alloc_options() -> AllocOptions {
+    AllocOptions {
+        workers: 1,
+        ..AllocOptions::default()
+    }
+}
+
+/// Allocation-entry writer-process body (see [`concurrent_writer_child`]).
+#[test]
+fn concurrent_alloc_writer_child() {
+    let Some(dir) = std::env::var_os(ALLOC_CHILD_DIR_ENV) else {
+        return;
+    };
+    let cache = EvalCache::open(&dir).expect("child opens the shared cache");
+    let spec = shared_spec();
+    let lib = MemLibrary::default_07um();
+    let options = shared_alloc_options();
+    let schedule = scbd::distribute_with_budget(&spec, BUDGET).expect("schedulable");
+    let key = alloc_cache_key(&spec, &schedule, &lib, &options).expect("splittable");
+    let (org, stats) = assign_with_stats(&spec, &schedule, &lib, &options).expect("assignable");
+    for _ in 0..CHILD_STORES {
+        cache.store_alloc(&key, &org, &stats);
+    }
+    assert_eq!(cache.stats().write_failures(), 0, "child writes must land");
+}
+
+#[test]
+fn concurrent_alloc_writers_two_processes_same_key() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("memx-cache-alloc-2proc-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let cache = EvalCache::open(&dir).expect("parent opens the cache");
+    let spec = shared_spec();
+    let lib = MemLibrary::default_07um();
+    let options = shared_alloc_options();
+    let schedule = scbd::distribute_with_budget(&spec, BUDGET).expect("schedulable");
+    let key = alloc_cache_key(&spec, &schedule, &lib, &options).expect("splittable");
+    let (ref_org, ref_stats) =
+        assign_with_stats(&spec, &schedule, &lib, &options).expect("assignable");
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let spawn = || {
+        Command::new(&exe)
+            .args(["--exact", "concurrent_alloc_writer_child", "--nocapture"])
+            .env(ALLOC_CHILD_DIR_ENV, &dir)
+            .spawn()
+            .expect("spawn writer process")
+    };
+    let mut children = [spawn(), spawn()];
+
+    // While both processes race renames onto the same path, every read
+    // must be all-or-nothing: a miss, or a fully valid entry identical
+    // to the reference solution (stats included — hits replay them).
+    let mut observed_hit = false;
+    loop {
+        let running = children
+            .iter_mut()
+            .any(|c| c.try_wait().expect("child wait").is_none());
+        if let Some((org, stats)) = cache.load_alloc(&key) {
+            observed_hit = true;
+            assert_eq!(org, ref_org);
+            assert_eq!(stats, ref_stats);
+        }
+        if !running {
+            break;
+        }
+    }
+    for child in &mut children {
+        let status = child.wait().expect("child exits");
+        assert!(status.success(), "writer process failed: {status}");
+    }
+
+    // Whoever won the last rename, the surviving entry is complete.
+    let (survivor, survivor_stats) = cache
+        .load_alloc(&key)
+        .expect("a valid entry survives the race");
+    assert_eq!(survivor, ref_org);
+    assert_eq!(survivor_stats, ref_stats);
+    assert!(
+        observed_hit,
+        "the race window never produced a readable entry"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

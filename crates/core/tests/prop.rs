@@ -2,9 +2,10 @@
 //! assignment invariants over random specifications.
 
 use memx_core::alloc::{
-    assign, assign_with_stats, bell_number, off_chip_exhaustive_reference, root_lower_bounds,
-    AllocOptions, BoundKind, MemoryKind,
+    assign, assign_with_stats, assign_with_stats_cached, bell_number,
+    off_chip_exhaustive_reference, root_lower_bounds, AllocOptions, BoundKind, MemoryKind,
 };
+use memx_core::cache::EvalCache;
 use memx_core::explore::pareto_indices;
 use memx_core::{macp, scbd};
 use memx_ir::{AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, Placement};
@@ -586,6 +587,55 @@ proptest! {
                     k, scale, opt, res.map(|o| o.cost)
                 ),
             }
+        }
+    }
+
+    #[test]
+    fn alloc_cache_hits_are_bit_identical_to_recompute(spec in arb_spec()) {
+        // A phase-2 cache hit must be indistinguishable from running the
+        // solver: same organization (cost float bits included, via the
+        // derived equality) and the same replayed AllocStats — for every
+        // worker count, since worker count is deliberately excluded from
+        // the key, and for both bound kinds, which key separately.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let lib = MemLibrary::default_07um();
+        let schedule = scbd::distribute(&spec).expect("schedulable");
+        for bound in [BoundKind::Solo, BoundKind::Pairwise] {
+            let serial = AllocOptions { workers: 1, bound, ..AllocOptions::default() };
+            let (want_org, want_stats) =
+                assign_with_stats(&spec, &schedule, &lib, &serial).expect("assignable");
+
+            let dir = std::env::temp_dir().join(format!(
+                "memx-prop-alloc-{}-{}",
+                std::process::id(),
+                CASE.fetch_add(1, Ordering::Relaxed),
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let cache = EvalCache::open(&dir).expect("cache opens");
+
+            // Cold pass populates the entry and must already match the
+            // uncached run exactly.
+            let (cold_org, cold_stats) =
+                assign_with_stats_cached(&spec, &schedule, &lib, &serial, Some(&cache))
+                    .expect("assignable");
+            prop_assert_eq!(&cold_org, &want_org, "cold bound={:?}", bound);
+            prop_assert_eq!(&cold_stats, &want_stats, "cold bound={:?}", bound);
+            prop_assert_eq!(cache.stats().alloc_misses, 1);
+            prop_assert_eq!(cache.stats().alloc_hits, 0);
+
+            for workers in [1usize, 2, 8] {
+                let options = AllocOptions { workers, bound, ..AllocOptions::default() };
+                let (org, stats) =
+                    assign_with_stats_cached(&spec, &schedule, &lib, &options, Some(&cache))
+                        .expect("assignable");
+                prop_assert_eq!(&org, &want_org, "workers={} bound={:?}", workers, bound);
+                prop_assert_eq!(&stats, &want_stats, "workers={} bound={:?}", workers, bound);
+            }
+            prop_assert_eq!(cache.stats().alloc_hits, 3, "bound={:?}", bound);
+            prop_assert_eq!(cache.stats().alloc_misses, 1, "bound={:?}", bound);
+            prop_assert_eq!(cache.stats().write_failures(), 0);
+            std::fs::remove_dir_all(&dir).ok();
         }
     }
 

@@ -139,6 +139,31 @@ pub struct OffChipSelection {
 }
 
 impl OffChipSelection {
+    /// Reassembles a selection from its parts — the inverse of the
+    /// accessors, so persisted selections (e.g. cached allocation
+    /// solutions) can round-trip without re-running [`OffChipCatalog::select`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices_wide` or `ranks` is zero, or `ports` is not
+    /// 1 or 2 (the only configurations `select` can produce).
+    pub fn from_parts(part: OffChipPart, devices_wide: u32, ranks: u32, ports: u32) -> Self {
+        assert!(
+            devices_wide > 0 && ranks > 0,
+            "selection must contain at least one device"
+        );
+        assert!(
+            (1..=2).contains(&ports),
+            "off-chip selections carry 1 or 2 ports, got {ports}"
+        );
+        OffChipSelection {
+            part,
+            devices_wide,
+            ranks,
+            ports,
+        }
+    }
+
     /// The selected catalog part.
     pub fn part(&self) -> &OffChipPart {
         &self.part

@@ -129,6 +129,31 @@ impl OnChipModel {
         self.port_area_factor
     }
 
+    /// Fixed per-access energy floor in pJ.
+    pub fn energy_base_pj(&self) -> f64 {
+        self.energy_base_pj
+    }
+
+    /// Energy slope multiplying `sqrt(words)` \[pJ\].
+    pub fn energy_per_sqrt_word_pj(&self) -> f64 {
+        self.energy_per_sqrt_word_pj
+    }
+
+    /// Offset of the width term in the energy model \[bits\].
+    pub fn energy_width_offset(&self) -> f64 {
+        self.energy_width_offset
+    }
+
+    /// Normalization of the width term in the energy model \[bits\].
+    pub fn energy_width_norm(&self) -> f64 {
+        self.energy_width_norm
+    }
+
+    /// Additional energy fraction per extra port.
+    pub fn port_energy_factor(&self) -> f64 {
+        self.port_energy_factor
+    }
+
     /// Returns the model with a different storage-cell area per bit —
     /// the knob a custom (non-0.7 µm) technology library tunes first.
     ///

@@ -26,6 +26,11 @@
 # throwaway cache directory: scripts/bench_regression.sh gates
 # warm_hits > 0 (the cache must actually serve) and warm_misses == 0
 # (a warm cache must be complete for an unchanged binary).
+#
+# The v5 schema splits the counters per entry kind: the same cold/warm
+# table3 pair also records the *allocation*-cache block (alloc_cache),
+# gated identically — a warm run must short-circuit every phase-2
+# branch-and-bound from the cache, not just every schedule.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -71,13 +76,13 @@ stat_line() {
     sed -n "s/^\[$2: \([0-9]*\)\]\$/\1/p" <<<"$1" | head -1
 }
 
-# cache_hits/cache_misses STDERR -> the fields of
-# "[scbd cache: H hits / M misses]"
+# cache_hits/cache_misses STDERR KIND -> the fields of
+# "[KIND cache: H hits / M misses]" (KIND: scbd or alloc)
 cache_hits() {
-    sed -n 's|^\[scbd cache: \([0-9]*\) hits / [0-9]* misses\]$|\1|p' <<<"$1" | head -1
+    sed -n "s|^\[$2 cache: \([0-9]*\) hits / [0-9]* misses\]\$|\1|p" <<<"$1" | head -1
 }
 cache_misses() {
-    sed -n 's|^\[scbd cache: [0-9]* hits / \([0-9]*\) misses\]$|\1|p' <<<"$1" | head -1
+    sed -n "s|^\[$2 cache: [0-9]* hits / \([0-9]*\) misses\]\$|\1|p" <<<"$1" | head -1
 }
 
 cores=$(nproc 2>/dev/null || echo 1)
@@ -108,11 +113,16 @@ stderr_cold=$(env MEMX_CACHE_DIR="$cache_dir" MEMX_WORKERS=1 \
     ./target/release/table3_cycle_budget 2>&1 >/dev/null)
 stderr_warm=$(env MEMX_CACHE_DIR="$cache_dir" MEMX_WORKERS=1 \
     ./target/release/table3_cycle_budget 2>&1 >/dev/null)
-cold_misses=$(cache_misses "$stderr_cold")
-warm_hits=$(cache_hits "$stderr_warm")
-warm_misses=$(cache_misses "$stderr_warm")
+cold_misses=$(cache_misses "$stderr_cold" scbd)
+warm_hits=$(cache_hits "$stderr_warm" scbd)
+warm_misses=$(cache_misses "$stderr_warm" scbd)
 printf 'bench: scbd cache cold %s misses -> warm %s hits / %s misses\n' \
     "$cold_misses" "$warm_hits" "$warm_misses"
+alloc_cold_misses=$(cache_misses "$stderr_cold" alloc)
+alloc_warm_hits=$(cache_hits "$stderr_warm" alloc)
+alloc_warm_misses=$(cache_misses "$stderr_warm" alloc)
+printf 'bench: alloc cache cold %s misses -> warm %s hits / %s misses\n' \
+    "$alloc_cold_misses" "$alloc_warm_hits" "$alloc_warm_misses"
 
 stderr_solo=$(table4_stderr solo)
 stderr_pairwise=$(table4_stderr pairwise)
@@ -127,7 +137,7 @@ printf 'bench: table4 off-chip nodes %s vs exhaustive partitions %s\n' \
 
 cat > "$OUT" << EOF
 {
-  "schema": "memexplore-bench-v4",
+  "schema": "memexplore-bench-v5",
   "generated_unix": $(date +%s),
   "smoke": $smoke,
   "cores": $cores,
@@ -152,6 +162,11 @@ ${entries%,$'\n'}
     "cold_misses": $cold_misses,
     "warm_hits": $warm_hits,
     "warm_misses": $warm_misses
+  },
+  "alloc_cache": {
+    "cold_misses": $alloc_cold_misses,
+    "warm_hits": $alloc_warm_hits,
+    "warm_misses": $alloc_warm_misses
   }
 }
 EOF

@@ -18,14 +18,18 @@
 #   * NEW's scbd_cache block reports zero warm hits or nonzero warm
 #     misses (the persistent cache stopped serving, or a warm cache is
 #     incomplete for an unchanged binary) — self-contained, no PREV
-#     needed.
+#     needed;
+#   * NEW's alloc_cache block reports zero warm hits or nonzero warm
+#     misses (same invariant for the phase-2 allocation cache: a warm
+#     run must short-circuit every branch-and-bound) — self-contained.
 #
 # A missing PREV (first run, expired CI cache) skips the wall-clock
 # comparison with a note instead of failing, so the gate bootstraps
-# itself. A PREV from an older schema (no table4_off_chip block, or a
-# v3 artifact without the scbd_cache block) skips only the affected
-# vs-baseline comparison, again with a note — older artifacts must
-# never turn the gate red.
+# itself. A PREV from an older schema (no table4_off_chip block, a
+# v3 artifact without the scbd_cache block, or a v4 artifact without
+# the alloc_cache block) skips only the affected vs-baseline
+# comparison, again with a note — older artifacts must never turn the
+# gate red.
 set -euo pipefail
 
 prev=${1:?usage: bench_regression.sh PREV.json NEW.json}
@@ -38,6 +42,20 @@ min_gated_seconds="0.2"
 # field FILE KEY -> first numeric value of "KEY": NUM in FILE
 field() {
     sed -n "s/.*\"$2\": \([0-9][0-9.]*\).*/\1/p" "$1" | head -1
+}
+
+# block_field FILE BLOCK KEY -> the numeric value of "KEY": NUM inside
+# the "BLOCK": { ... } object. Needed since v5: scbd_cache and
+# alloc_cache share their key names, so the file-wide first match of
+# field() would silently read the wrong block.
+block_field() {
+    awk -v blk="\"$2\":" -v key="\"$3\":" '
+        !in_block && index($0, blk) { in_block = 1; next }
+        in_block && index($0, key) && match($0, /[0-9][0-9.]*/) {
+            print substr($0, RSTART, RLENGTH); exit
+        }
+        in_block && index($0, "}") { exit }
+    ' "$1"
 }
 
 # seconds FILE BINARY -> the binary's "seconds" value
@@ -84,28 +102,32 @@ else
     fail=1
 fi
 
-# --- Persistent-cache invariant (self-contained). ---------------------
-warm_hits=$(field "$new" warm_hits)
-warm_misses=$(field "$new" warm_misses)
-if [ -n "$warm_hits" ] && [ -n "$warm_misses" ]; then
-    if [ "$warm_hits" -eq 0 ]; then
-        echo "bench-regression: FAIL warm cache run served no hits" >&2
-        fail=1
-    elif [ "$warm_misses" -ne 0 ]; then
-        echo "bench-regression: FAIL warm cache run still missed $warm_misses times" >&2
-        fail=1
+# --- Persistent-cache invariants (self-contained), per entry kind. ----
+for kind in scbd alloc; do
+    warm_hits=$(block_field "$new" "${kind}_cache" warm_hits)
+    warm_misses=$(block_field "$new" "${kind}_cache" warm_misses)
+    if [ -n "$warm_hits" ] && [ -n "$warm_misses" ]; then
+        if [ "$warm_hits" -eq 0 ]; then
+            echo "bench-regression: FAIL warm $kind cache run served no hits" >&2
+            fail=1
+        elif [ "$warm_misses" -ne 0 ]; then
+            echo "bench-regression: FAIL warm $kind cache run still missed $warm_misses times" >&2
+            fail=1
+        else
+            echo "bench-regression: $kind cache ok (warm hits $warm_hits, misses 0)"
+        fi
     else
-        echo "bench-regression: scbd cache ok (warm hits $warm_hits, misses 0)"
+        echo "bench-regression: FAIL $new lacks ${kind}_cache counters" >&2
+        fail=1
     fi
-else
-    echo "bench-regression: FAIL $new lacks scbd_cache counters" >&2
-    fail=1
-fi
-# The scbd_cache gate reads only NEW; a v3 PREV (no scbd_cache block)
-# therefore needs no comparison — note it for symmetry with the
-# other schema-bump tolerances.
+done
+# The cache gates read only NEW; a v3 PREV (no scbd_cache block) or a
+# v4 PREV (no alloc_cache block) therefore needs no comparison — note
+# it for symmetry with the other schema-bump tolerances.
 if [ -f "$prev" ] && [ -z "$(field "$prev" warm_hits)" ]; then
     echo "bench-regression: previous artifact predates scbd_cache (older schema); cache gate is self-contained, nothing skipped"
+elif [ -f "$prev" ] && [ -z "$(block_field "$prev" alloc_cache warm_hits)" ]; then
+    echo "bench-regression: previous artifact predates alloc_cache (v4 schema); cache gate is self-contained, nothing skipped"
 fi
 
 # --- Off-chip nodes vs the previous artifact. -------------------------

@@ -7,15 +7,19 @@
 #   1. run the suite with MEMX_CACHE_DIR set (this pass may be served
 #      from a cache carried across CI runs — diffing it against the
 #      fresh uncached reference is exactly what catches *stale* entries
-#      surviving a schedule-affecting code change that forgot to bump
-#      the cache revision);
+#      surviving a schedule- or allocation-affecting code change that
+#      forgot to bump the cache revision; per-key staleness semantics —
+#      a model-constant change must re-key every entry — are pinned by
+#      the scbd_stale_key_misses / alloc_stale_key_misses unit tests);
 #   2. run the suite again (warm): stdout must still match the
 #      reference, and every binary that schedules must report *nonzero
-#      cache hits*;
-#   3. corrupt EVERY entry on disk (alternating truncation and garbage)
-#      and re-run the full suite: the binaries must degrade to
-#      recompute — exit 0, stdout unchanged — repairing the entries in
-#      passing, which a final hit-check proves.
+#      cache hits* on BOTH per-kind stat lines — schedules ([scbd
+#      cache: ...]) and allocation solutions ([alloc cache: ...]);
+#   3. corrupt EVERY entry on disk — all three kinds: scbd/, alloc/,
+#      offblocks/ — alternating truncation and garbage, and re-run the
+#      full suite: the binaries must degrade to recompute — exit 0,
+#      stdout unchanged — repairing the entries in passing, which a
+#      final per-kind hit-check proves.
 #
 # MEMX_CACHE_DIR may be supplied by the caller (CI persists it across
 # workflow runs via actions/cache); otherwise a throwaway directory is
@@ -59,6 +63,11 @@ warm_hits() {
     sed -n 's|^\[scbd cache: \([0-9]*\) hits / [0-9]* misses\]$|\1|p' "$1" | head -1
 }
 
+# alloc_warm_hits STDERR-FILE -> same, for "[alloc cache: H hits / M misses]"
+alloc_warm_hits() {
+    sed -n 's|^\[alloc cache: \([0-9]*\) hits / [0-9]* misses\]$|\1|p' "$1" | head -1
+}
+
 # run_suite TAG [diff-reference-tag]  -> runs every binary, optionally
 # diffing each stdout against a previous pass.
 run_suite() {
@@ -99,26 +108,47 @@ echo "cache-roundtrip: cache dir $MEMX_CACHE_DIR"
 # must match the uncached reference byte for byte).
 run_suite cached uncached
 
-# Pass 2: warm — byte-identity again, plus nonzero hits where it counts.
+# Pass 2: warm — byte-identity again, plus nonzero hits where it
+# counts, per entry kind: the schedule cache AND the allocation cache
+# must both serve every scheduling binary. (The block-catalog line is
+# deliberately not gated: a warm allocation hit short-circuits phase 2
+# before the pricer ever consults the block cache, so 0/0 is its
+# correct warm steady state.)
 run_suite warm uncached
 for bin in "${SCHEDULING_BINARIES[@]}"; do
     hits=$(warm_hits "$outdir/$bin.warm.err")
     if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
-        echo "cache-roundtrip: FAIL $bin reported no cache hits on the warm run (got '${hits:-missing line}')" >&2
+        echo "cache-roundtrip: FAIL $bin reported no scbd cache hits on the warm run (got '${hits:-missing line}')" >&2
+        status=1
+    fi
+    hits=$(alloc_warm_hits "$outdir/$bin.warm.err")
+    if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+        echo "cache-roundtrip: FAIL $bin reported no alloc cache hits on the warm run (got '${hits:-missing line}')" >&2
         status=1
     fi
 done
 
-# Pass 3: corrupt EVERY entry (deterministic — every schedule read in
-# the next pass sees a corrupt file), re-run the whole suite, and prove
-# the entries were repaired in passing.
-entries=("$MEMX_CACHE_DIR"/scbd/*.bin)
+# Pass 3: corrupt EVERY entry of every kind (deterministic — every
+# schedule, allocation and block-catalog read in the next pass sees a
+# corrupt file), re-run the whole suite, and prove the entries were
+# repaired in passing.
+for kind in scbd alloc offblocks; do
+    kind_entries=("$MEMX_CACHE_DIR/$kind"/*.bin)
+    if [ ! -e "${kind_entries[0]}" ]; then
+        echo "cache-roundtrip: FAIL no $kind cache entries were written" >&2
+        status=1
+    fi
+done
+entries=("$MEMX_CACHE_DIR"/{scbd,alloc,offblocks}/*.bin)
 if [ ! -e "${entries[0]}" ]; then
     echo "cache-roundtrip: FAIL no cache entries were written" >&2
     status=1
 else
     i=0
     for entry in "${entries[@]}"; do
+        # An empty kind leaves its unexpanded glob in the list (already
+        # reported as a failure above); don't manufacture a file for it.
+        if [ ! -e "$entry" ]; then continue; fi
         if [ $((i % 2)) -eq 0 ]; then
             head -c 10 "$entry" >"$entry.tmp" && mv "$entry.tmp" "$entry"
         else
@@ -128,14 +158,20 @@ else
     done
     echo "cache-roundtrip: corrupted all ${#entries[@]} entries (truncation/garbage alternating)"
     run_suite corrupted uncached
-    # The corrupted pass recomputed and re-published every schedule it
-    # read; a final run must therefore hit again.
-    hits_after_repair=$("./target/release/table4_allocation" 2>&1 >/dev/null | warm_hits /dev/stdin)
+    # The corrupted pass recomputed and re-published every schedule and
+    # allocation it read; a final run must therefore hit again, on both
+    # gated kinds.
+    "./target/release/table4_allocation" >/dev/null 2>"$outdir/repair.err"
+    hits_after_repair=$(warm_hits "$outdir/repair.err")
+    alloc_hits_after_repair=$(alloc_warm_hits "$outdir/repair.err")
     if [ -z "$hits_after_repair" ] || [ "$hits_after_repair" -eq 0 ]; then
-        echo "cache-roundtrip: FAIL corrupted entries were not repaired (table4 hits '$hits_after_repair')" >&2
+        echo "cache-roundtrip: FAIL corrupted scbd entries were not repaired (table4 hits '$hits_after_repair')" >&2
+        status=1
+    elif [ -z "$alloc_hits_after_repair" ] || [ "$alloc_hits_after_repair" -eq 0 ]; then
+        echo "cache-roundtrip: FAIL corrupted alloc entries were not repaired (table4 alloc hits '$alloc_hits_after_repair')" >&2
         status=1
     else
-        echo "cache-roundtrip: corrupted entries repaired ($hits_after_repair table4 hits after re-run)"
+        echo "cache-roundtrip: corrupted entries repaired ($hits_after_repair scbd / $alloc_hits_after_repair alloc table4 hits after re-run)"
     fi
 fi
 

@@ -20,7 +20,11 @@
 # shared cache directory, and the cached stdout must diff clean against
 # the uncached run of the same cell. The shared directory is *cold* for
 # the first cell and warm for every later one, so both fill and serve
-# paths are pinned to byte-identity end-to-end.
+# paths are pinned to byte-identity end-to-end — for all three entry
+# kinds: a warm cell's allocations are served whole from the alloc
+# cache (keyed without the worker count, exactly because this matrix
+# holds), short-circuiting the phase-2 branch-and-bound the uncached
+# cell ran.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
