@@ -88,7 +88,11 @@
 //!
 //! All three levels fan out over worker threads
 //! ([`AllocOptions::workers`]) and all three return **bit-identical**
-//! results for every worker count:
+//! results for every worker count. The shared choreography — seed
+//! phase, budget split, published atomic incumbent, claim queue,
+//! canonical-order reduction — lives in one audited copy in
+//! [`crate::fan`]; this module only supplies the explore functions and
+//! skip predicates:
 //!
 //! * the off-chip level splits its canonical partition tree into
 //!   deterministic prefix subtrees exactly like the on-chip search
@@ -123,10 +127,14 @@
 //! calling thread — no worker threads are spawned at all (see
 //! [`crate::engine::thread_spawns_on_current_thread`]).
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread;
+use std::collections::BTreeMap;
+
+// memx-lint: fingerprinted(ALLOC_ALGO_REVISION) — result-affecting changes
+// to the allocation solver (bounds, tie-breaks, traversal order, greedy
+// seed, float accumulation) must bump the revision in `core::cache`.
+// memx-lint: fingerprinted(OFF_CHIP_BLOCKS_ALGO_REVISION) — changes to how
+// the pricer costs a group subset must bump the revision in `core::cache`.
+use std::sync::Arc;
 
 use memx_ir::hash::StableHasher;
 use memx_ir::{AppSpec, BasicGroupId, Placement};
@@ -134,14 +142,9 @@ use memx_memlib::{timing, CostBreakdown, MemLibrary, OffChipSelection, OnChipSpe
 
 use crate::cache::{self, EvalCache};
 use crate::engine::parallel_map;
+use crate::fan::{above_with_slack, fan_subtrees, Incumbent, SubtreeSearch, TARGET_SUBTREES};
 use crate::scbd::ScbdResult;
 use crate::ExploreError;
-
-/// How many canonical-prefix subtrees the branch-and-bound splits into.
-/// Deliberately a constant (not a function of the worker count) so the
-/// per-subtree node budgets — and therefore the search result — do not
-/// depend on the machine the search runs on.
-const TARGET_SUBTREES: usize = 512;
 
 /// Number of set partitions of `n` elements (the Bell number),
 /// saturating at `u64::MAX`.
@@ -154,10 +157,11 @@ pub fn bell_number(n: usize) -> u64 {
     let mut row = vec![1u64];
     for _ in 0..n {
         let mut next = Vec::with_capacity(row.len() + 1);
-        next.push(*row.last().expect("triangle rows are non-empty"));
+        let mut acc = *row.last().unwrap_or(&1);
+        next.push(acc);
         for &v in &row {
-            let prev = *next.last().expect("just pushed");
-            next.push(prev.saturating_add(v));
+            acc = acc.saturating_add(v);
+            next.push(acc);
         }
         row = next;
     }
@@ -372,7 +376,7 @@ struct PortOracle {
     /// Each entry: (group index, simultaneous accesses) per busy cycle.
     slots: Arc<Vec<Vec<(usize, u32)>>>,
     min_ports: Arc<Vec<u32>>,
-    cache: HashMap<u64, u32>,
+    cache: BTreeMap<u64, u32>,
 }
 
 impl PortOracle {
@@ -385,7 +389,7 @@ impl PortOracle {
                     // by overlap (group minimums are handled separately).
                     continue;
                 }
-                let mut counts: HashMap<usize, u32> = HashMap::new();
+                let mut counts: BTreeMap<usize, u32> = BTreeMap::new();
                 for o in &slot.occupants {
                     *counts.entry(o.group.index()).or_insert(0) += 1;
                 }
@@ -399,7 +403,7 @@ impl PortOracle {
         PortOracle {
             slots: Arc::new(slots),
             min_ports: Arc::new(spec.basic_groups().iter().map(|g| g.min_ports()).collect()),
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
         }
     }
 
@@ -788,6 +792,7 @@ impl OffChipCtx<'_> {
             .lib
             .off_chip()
             .select(words, width, ports, rate_energy)
+            // memx-lint: allow(no-panic-paths) — only blocks the pricer already priced `Some` reach here, so selection cannot fail.
             .expect("winning blocks are feasible");
         let mw = sel.static_mw() + sel.energy_pj_per_access() * rate_energy / 1e9;
         MemoryInstance {
@@ -807,7 +812,7 @@ impl OffChipCtx<'_> {
 struct OffChipPricer<'a> {
     ctx: &'a OffChipCtx<'a>,
     oracle: PortOracle,
-    cache: HashMap<u64, Option<f64>>,
+    cache: BTreeMap<u64, Option<f64>>,
 }
 
 impl OffChipPricer<'_> {
@@ -828,6 +833,7 @@ impl OffChipPricer<'_> {
                 .lib
                 .off_chip()
                 .select(words, width, ports, rate_energy)
+                // memx-lint: allow(no-panic-paths) — the catalog is checked non-empty up front and ports are pre-gated to <= 2, the only selection failure modes.
                 .expect("catalog non-empty and ports pre-gated");
             sel.static_mw() + sel.energy_pj_per_access() * rate_energy / 1e9
         });
@@ -841,6 +847,7 @@ impl OffChipPricer<'_> {
     fn committed(&mut self, blocks: &[u64]) -> f64 {
         let mut sum = 0.0;
         for &m in blocks {
+            // memx-lint: allow(no-panic-paths) — every committed block was price-gated `Some` before being committed.
             sum += self.price(m).expect("committed blocks are feasible");
         }
         sum
@@ -870,19 +877,9 @@ fn off_chip_group_floor(
         .iter()
         .map(|p| p.energy_pj() * f64::from(width.div_ceil(p.width())))
         .min_by(f64::total_cmp)
+        // memx-lint: allow(no-panic-paths) — `assign_off_chip` rejects an empty part catalog before any floor is computed.
         .expect("catalog checked non-empty");
     floor_e * (traffic[g.index()].energy_accesses() / time_s) / 1e9
-}
-
-/// Strictly-above test with an ulp guard, for comparing an off-chip
-/// lower bound against the cost of a *real* partition (greedy, seed or
-/// published incumbent). The suffix floor can be exactly tight in real
-/// arithmetic — e.g. same-part merges whose marginal energy equals the
-/// floor — where float rounding could push the bound a few ulps past the
-/// partition cost and cut the canonical-first optimum. The guard admits
-/// those ties: it only ever explores more, never less.
-fn above_with_slack(lb: f64, bound: f64) -> bool {
-    lb > bound + bound.abs() * 1e-12
 }
 
 /// A partial canonical partition of the first `depth` off-chip groups.
@@ -900,6 +897,93 @@ struct OffChipSubtreeResult {
     partitions: u64,
     truncated: bool,
     skipped: bool,
+}
+
+/// The off-chip solver's instantiation of the generic fan harness
+/// ([`crate::fan`]): per-worker state is the memoizing block pricer, and
+/// subtree skipping uses the ulp-guarded comparison because the suffix
+/// floor can be exactly tight in real arithmetic.
+struct OffChipFan<'a> {
+    ctx: &'a OffChipCtx<'a>,
+}
+
+impl<'a> SubtreeSearch for OffChipFan<'a> {
+    type Prefix = OffChipPrefix;
+    type State = OffChipPricer<'a>;
+    type Outcome = OffChipSubtreeResult;
+
+    fn explore(
+        &self,
+        pricer: &mut OffChipPricer<'a>,
+        p: &OffChipPrefix,
+        outer: f64,
+        budget: u64,
+    ) -> OffChipSubtreeResult {
+        if p.depth == self.ctx.n() {
+            // The whole tree fit into the prefix expansion: the prefix
+            // *is* a complete partition (already bounded by `outer`).
+            let mw = pricer.committed(&p.blocks);
+            return OffChipSubtreeResult {
+                val: mw,
+                blocks: Some(p.blocks.clone()),
+                nodes: 1,
+                partitions: 1,
+                truncated: false,
+                skipped: false,
+            };
+        }
+        let mut dfs = OffChipDfs {
+            ctx: self.ctx,
+            outer,
+            best_mw: f64::INFINITY,
+            best: None,
+            nodes: 0,
+            node_limit: budget,
+            truncated: false,
+            partitions: 0,
+        };
+        let mut blocks = p.blocks.clone();
+        dfs.recurse(pricer, p.depth, &mut blocks);
+        OffChipSubtreeResult {
+            val: if dfs.best.is_some() {
+                dfs.best_mw
+            } else {
+                f64::INFINITY
+            },
+            blocks: dfs.best,
+            nodes: dfs.nodes,
+            partitions: dfs.partitions,
+            truncated: dfs.truncated,
+            skipped: false,
+        }
+    }
+
+    fn clone_state(&self, pricer: &OffChipPricer<'a>) -> OffChipPricer<'a> {
+        pricer.clone()
+    }
+
+    fn skipped(&self) -> OffChipSubtreeResult {
+        OffChipSubtreeResult {
+            val: f64::INFINITY,
+            blocks: None,
+            nodes: 0,
+            partitions: 0,
+            truncated: false,
+            skipped: true,
+        }
+    }
+
+    fn value(&self, r: &OffChipSubtreeResult) -> Option<f64> {
+        r.blocks.is_some().then_some(r.val)
+    }
+
+    fn nodes(&self, r: &OffChipSubtreeResult) -> u64 {
+        r.nodes
+    }
+
+    fn skip_above(&self, lb: f64, bound: f64) -> bool {
+        above_with_slack(lb, bound)
+    }
 }
 
 /// Depth-first exploration of one off-chip subtree with a private node
@@ -981,6 +1065,7 @@ fn off_chip_greedy(ctx: &OffChipCtx<'_>, pricer: &mut OffChipPricer<'_>) -> Opti
         let mut choice: Option<(usize, f64)> = None;
         for (b, &mask) in blocks.iter().enumerate() {
             if let Some(grown) = pricer.price(mask | bit) {
+                // memx-lint: allow(no-panic-paths) — blocks enter the greedy partition only after pricing `Some`.
                 let delta = grown - pricer.price(mask).expect("existing blocks are feasible");
                 if choice.map(|(_, d)| delta < d).unwrap_or(true) {
                     choice = Some((b, delta));
@@ -1099,7 +1184,7 @@ fn assign_off_chip(
     let mut pricer = OffChipPricer {
         ctx: &ctx,
         oracle: oracle.clone(),
-        cache: HashMap::new(),
+        cache: BTreeMap::new(),
     };
 
     // Pre-seed the block pricer from a cached catalog when one exists.
@@ -1138,139 +1223,24 @@ fn assign_off_chip(
         .map(|p| pricer.committed(&p.blocks) + ctx.floor_suffix[p.depth])
         .collect();
 
-    // Explore one subtree with a private node budget against a fixed
-    // bound: a pure function of (prefix, outer, budget), so determinism
-    // only needs those chosen deterministically.
-    let explore_one =
-        |pricer: &mut OffChipPricer<'_>, p: &OffChipPrefix, outer: f64, budget: u64| {
-            if p.depth == n {
-                // The whole tree fit into the prefix expansion: the prefix
-                // *is* a complete partition (already bounded by `outer`).
-                let mw = pricer.committed(&p.blocks);
-                return OffChipSubtreeResult {
-                    val: mw,
-                    blocks: Some(p.blocks.clone()),
-                    nodes: 1,
-                    partitions: 1,
-                    truncated: false,
-                    skipped: false,
-                };
-            }
-            let mut dfs = OffChipDfs {
-                ctx: &ctx,
-                outer,
-                best_mw: f64::INFINITY,
-                best: None,
-                nodes: 0,
-                node_limit: budget,
-                truncated: false,
-                partitions: 0,
-            };
-            let mut blocks = p.blocks.clone();
-            dfs.recurse(pricer, p.depth, &mut blocks);
-            OffChipSubtreeResult {
-                val: if dfs.best.is_some() {
-                    dfs.best_mw
-                } else {
-                    f64::INFINITY
-                },
-                blocks: dfs.best,
-                nodes: dfs.nodes,
-                partitions: dfs.partitions,
-                truncated: dfs.truncated,
-                skipped: false,
-            }
-        };
-
-    // Seed phase: the subtree with the smallest lower bound (earliest on
-    // ties) gets the full node budget first; its value tightens the
-    // bound every other subtree starts from — deterministically.
-    let seed_idx = (0..prefixes.len())
-        .min_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)))
-        .expect("expansion keeps at least the greedy partition's prefix");
-    let seed_res = explore_one(
+    // Fan the subtrees through the generic harness ([`crate::fan`]):
+    // seed phase, budget split, published incumbent, claim queue. Each
+    // subtree's outcome is a pure function of (prefix, outer, budget),
+    // so determinism only needs those chosen deterministically — which
+    // the harness guarantees. The ulp-guarded skip predicate lives on
+    // [`OffChipFan`].
+    let collected = fan_subtrees(
+        &OffChipFan { ctx: &ctx },
+        &prefixes,
+        &bounds,
         &mut pricer,
-        &prefixes[seed_idx],
         greedy_mw,
         options.node_limit,
+        workers,
     );
-    let seed_val = if seed_res.blocks.is_some() {
-        seed_res.val
-    } else {
-        greedy_mw
-    };
-    let node_budget =
-        options.node_limit.saturating_sub(seed_res.nodes) / prefixes.len().max(1) as u64;
-
-    // Fan the remaining subtrees over the workers; the atomic incumbent
-    // only ever skips whole subtrees whose bound is strictly above it,
-    // so the reduced result is independent of thread timing.
-    let published = AtomicU64::new(seed_val.to_bits());
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<OffChipSubtreeResult>>> =
-        (0..prefixes.len()).map(|_| Mutex::new(None)).collect();
-    let claim_order: Vec<usize> = {
-        let mut idx: Vec<usize> = (0..prefixes.len()).collect();
-        idx.sort_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)));
-        idx
-    };
-    let explore = |pricer: &mut OffChipPricer<'_>| loop {
-        let c = next.fetch_add(1, Ordering::Relaxed);
-        if c >= claim_order.len() {
-            break;
-        }
-        let j = claim_order[c];
-        if j == seed_idx {
-            continue; // already explored in the seed phase
-        }
-        let res = if above_with_slack(bounds[j], f64::from_bits(published.load(Ordering::Relaxed)))
-        {
-            OffChipSubtreeResult {
-                val: f64::INFINITY,
-                blocks: None,
-                nodes: 0,
-                partitions: 0,
-                truncated: false,
-                skipped: true,
-            }
-        } else {
-            explore_one(pricer, &prefixes[j], seed_val, node_budget)
-        };
-        if res.blocks.is_some() {
-            fetch_min_f64(&published, res.val);
-        }
-        *results[j].lock().expect("no poisoned subtree slot") = Some(res);
-    };
-
-    let fan_workers = workers.min(prefixes.len().max(1));
-    if fan_workers <= 1 {
-        explore(&mut pricer);
-    } else {
-        thread::scope(|scope| {
-            for _ in 0..fan_workers {
-                let mut worker_pricer = pricer.clone();
-                crate::engine::note_thread_spawn();
-                scope.spawn(move || explore(&mut worker_pricer));
-            }
-        });
-    }
 
     // Deterministic reduction in canonical subtree order with strict
     // improvement — the exhaustive scan's first-found-minimum tie-break.
-    let mut collected: Vec<OffChipSubtreeResult> = Vec::with_capacity(prefixes.len());
-    let mut seed_slot = Some(seed_res);
-    for (j, slot) in results.iter().enumerate() {
-        if j == seed_idx {
-            collected.push(seed_slot.take().expect("seed reduced once"));
-        } else {
-            collected.push(
-                slot.lock()
-                    .expect("no poisoned subtree slot")
-                    .take()
-                    .expect("every non-seed subtree claimed"),
-            );
-        }
-    }
     let mut best_val = f64::INFINITY;
     let mut best_blocks: Option<Vec<u64>> = None;
     for r in &collected {
@@ -1375,7 +1345,7 @@ pub fn off_chip_exhaustive_reference(
     let mut pricer = OffChipPricer {
         ctx: &ctx,
         oracle,
-        cache: HashMap::new(),
+        cache: BTreeMap::new(),
     };
     struct Scan<'a, 'b> {
         pricer: &'a mut OffChipPricer<'b>,
@@ -1444,6 +1414,7 @@ fn on_chip_memory(
         .iter()
         .map(|&g| spec.group(g).bitwidth())
         .max()
+        // memx-lint: allow(no-panic-paths) — callers only build memories for non-empty bins (the canonical partition never opens an empty one).
         .expect("memory not empty");
     let module = OnChipSpec::new(words, width, ports);
     let area = lib.on_chip().area_mm2(&module);
@@ -1739,21 +1710,23 @@ fn sweep_on_chip(
     let inner_workers = (workers / sweep_workers).max(1);
 
     let root_lb = |k: usize| sweep.bound.bound(0, 0, k);
-    let seed_pos = (0..counts.len())
-        .min_by(|&a, &b| {
-            root_lb(counts[a])
-                .total_cmp(&root_lb(counts[b]))
-                .then(a.cmp(&b))
-        })
-        .expect("counts not empty");
+    // Seed size: smallest root lower bound, earliest on ties.
+    let mut seed_pos = 0usize;
+    for i in 1..counts.len() {
+        if root_lb(counts[i])
+            .total_cmp(&root_lb(counts[seed_pos]))
+            .is_lt()
+        {
+            seed_pos = i;
+        }
+    }
     // Seed phase: the whole pool works on the most promising size.
     let (seed_mems, seed_nodes) = assign_on_chip(&sweep, oracle, counts[seed_pos], workers);
-    let shared = AtomicU64::new(
+    let shared = Incumbent::new(
         seed_mems
             .as_deref()
             .map(|m| on_chip_scalar(m, options))
-            .unwrap_or(f64::INFINITY)
-            .to_bits(),
+            .unwrap_or(f64::INFINITY),
     );
     let others: Vec<usize> = counts
         .iter()
@@ -1762,7 +1735,7 @@ fn sweep_on_chip(
         .map(|(_, &k)| k)
         .collect();
     let fanned = parallel_map(&others, sweep_workers, |_, &k| {
-        if root_lb(k) > f64::from_bits(shared.load(Ordering::Relaxed)) {
+        if root_lb(k) > shared.get() {
             // Strictly above a published result: this size's search —
             // even node-limited, its outcome is a feasible organization
             // costing at least the root bound — can never win the
@@ -1773,7 +1746,7 @@ fn sweep_on_chip(
         let mut worker_oracle = oracle.clone();
         let (mems, nodes) = assign_on_chip(&sweep, &mut worker_oracle, k, inner_workers);
         if let Some(m) = &mems {
-            fetch_min_f64(&shared, on_chip_scalar(m, options));
+            shared.publish_min(on_chip_scalar(m, options));
         }
         (mems, nodes, false)
     });
@@ -1785,8 +1758,10 @@ fn sweep_on_chip(
     let mut fanned = fanned.into_iter();
     for i in 0..counts.len() {
         let (mems, nodes, skipped) = if i == seed_pos {
+            // memx-lint: allow(no-panic-paths) — the seed slot is taken exactly once (at `i == seed_pos`).
             seed_slot.take().expect("seed reduced once")
         } else {
+            // memx-lint: allow(no-panic-paths) — `parallel_map` returns exactly one result per non-seed size.
             fanned.next().expect("one fanned result per non-seed size")
         };
         stats.bb_nodes += nodes;
@@ -1963,9 +1938,9 @@ fn expand_prefixes(ctx: &SearchCtx<'_>, oracle: &mut PortOracle, greedy_bound: f
                 }
             }
             if p.bins.len() < ctx.k {
-                let mut bins = p.bins.clone();
-                bins.push(vec![g]);
-                if let Some(scalar) = ctx.memory_scalar(oracle, bins.last().expect("just pushed")) {
+                if let Some(scalar) = ctx.memory_scalar(oracle, std::slice::from_ref(&g)) {
+                    let mut bins = p.bins.clone();
+                    bins.push(vec![g]);
                     let mut bin_scalars = p.bin_scalars.clone();
                     bin_scalars.push(scalar);
                     push_child(bins, bin_scalars, p.acc + scalar);
@@ -1989,17 +1964,82 @@ struct SubtreeResult {
     nodes: u64,
 }
 
-/// Lock-free monotone minimum over non-negative `f64`s (bit order and
-/// value order coincide for non-negative IEEE-754 doubles, but compare
-/// as floats anyway for clarity).
-fn fetch_min_f64(atomic: &AtomicU64, val: f64) {
-    let mut cur = atomic.load(Ordering::Relaxed);
-    while val < f64::from_bits(cur) {
-        match atomic.compare_exchange_weak(cur, val.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
-        {
-            Ok(_) => break,
-            Err(c) => cur = c,
+/// The on-chip solver's instantiation of the generic fan harness
+/// ([`crate::fan`]): per-worker state is the memoizing port oracle, and
+/// subtree skipping uses the default strict comparison (a subtree
+/// holding a solution equal to the final minimum is never skipped).
+struct OnChipFan<'a> {
+    ctx: &'a SearchCtx<'a>,
+}
+
+impl SubtreeSearch for OnChipFan<'_> {
+    type Prefix = Prefix;
+    type State = PortOracle;
+    type Outcome = SubtreeResult;
+
+    fn explore(
+        &self,
+        oracle: &mut PortOracle,
+        p: &Prefix,
+        outer: f64,
+        budget: u64,
+    ) -> SubtreeResult {
+        let ctx = self.ctx;
+        if p.depth == ctx.order().len() {
+            // The whole tree fit into the prefix expansion: the
+            // prefix *is* a complete assignment.
+            if p.bins.len() == ctx.k && p.acc < outer {
+                return SubtreeResult {
+                    val: p.acc,
+                    bins: Some(p.bins.clone()),
+                    nodes: 1,
+                };
+            }
+            return SubtreeResult {
+                val: f64::INFINITY,
+                bins: None,
+                nodes: 1,
+            };
         }
+        let mut dfs = Dfs {
+            ctx,
+            best_scalar: outer,
+            best: None,
+            nodes: 0,
+            node_limit: budget,
+        };
+        let mut bins = p.bins.clone();
+        let mut bin_scalars = p.bin_scalars.clone();
+        dfs.recurse(oracle, p.depth, &mut bins, &mut bin_scalars, p.acc);
+        SubtreeResult {
+            val: if dfs.best.is_some() {
+                dfs.best_scalar
+            } else {
+                f64::INFINITY
+            },
+            bins: dfs.best,
+            nodes: dfs.nodes,
+        }
+    }
+
+    fn clone_state(&self, oracle: &PortOracle) -> PortOracle {
+        oracle.clone()
+    }
+
+    fn skipped(&self) -> SubtreeResult {
+        SubtreeResult {
+            val: f64::INFINITY,
+            bins: None,
+            nodes: 0,
+        }
+    }
+
+    fn value(&self, r: &SubtreeResult) -> Option<f64> {
+        r.bins.is_some().then_some(r.val)
+    }
+
+    fn nodes(&self, r: &SubtreeResult) -> u64 {
+        r.nodes
     }
 }
 
@@ -2041,23 +2081,21 @@ fn assign_on_chip(
                 }
                 continue;
             }
-            let mut choice: Option<(usize, f64)> = None;
+            let mut choice: Option<(usize, f64, f64)> = None;
             for b in 0..bins.len() {
                 bins[b].push(g);
                 if let Some(s) = ctx.memory_scalar(oracle, &bins[b]) {
                     let delta = s - bin_scalars[b];
-                    if choice.map(|(_, d)| delta < d).unwrap_or(true) {
-                        choice = Some((b, delta));
+                    if choice.map(|(_, d, _)| delta < d).unwrap_or(true) {
+                        choice = Some((b, delta, s));
                     }
                 }
                 bins[b].pop();
             }
             match choice {
-                Some((b, _)) => {
+                Some((b, _, s)) => {
                     bins[b].push(g);
-                    bin_scalars[b] = ctx
-                        .memory_scalar(oracle, &bins[b])
-                        .expect("feasibility just checked");
+                    bin_scalars[b] = s;
                 }
                 None => {
                     feasible = false;
@@ -2072,166 +2110,42 @@ fn assign_on_chip(
     // Split the canonical tree into deterministic subtrees.
     let prefixes = expand_prefixes(&ctx, oracle, greedy_val);
 
-    // Explore one subtree with a private node budget against a fixed
-    // bound. The outcome is a pure function of (prefix, bound_val,
-    // budget), so determinism only requires those to be chosen
-    // deterministically.
-    let explore_one = |oracle: &mut PortOracle, p: &Prefix, bound_val: f64, budget: u64| {
-        if p.depth == ctx.order().len() {
-            // The whole tree fit into the prefix expansion: the
-            // prefix *is* a complete assignment.
-            if p.bins.len() == k && p.acc < bound_val {
-                return SubtreeResult {
-                    val: p.acc,
-                    bins: Some(p.bins.clone()),
-                    nodes: 1,
-                };
-            }
-            return SubtreeResult {
-                val: f64::INFINITY,
-                bins: None,
-                nodes: 1,
-            };
-        }
-        let mut dfs = Dfs {
-            ctx: &ctx,
-            best_scalar: bound_val,
-            best: None,
-            nodes: 0,
-            node_limit: budget,
-        };
-        let mut bins = p.bins.clone();
-        let mut bin_scalars = p.bin_scalars.clone();
-        dfs.recurse(oracle, p.depth, &mut bins, &mut bin_scalars, p.acc);
-        SubtreeResult {
-            val: if dfs.best.is_some() {
-                dfs.best_scalar
-            } else {
-                f64::INFINITY
-            },
-            bins: dfs.best,
-            nodes: dfs.nodes,
-        }
-    };
-
-    // Seed phase: the subtree with the smallest lower bound (earliest on
-    // ties) is explored first, alone, with the *full* node budget — it is
-    // the most likely home of the optimum. Its result tightens the bound
-    // every other subtree starts from — deterministically, since the
-    // choice of seed and its search depend on nothing timing-related.
-    // This recovers most of the pruning power a serial DFS gets from its
-    // evolving incumbent.
+    // Root lower bound of each subtree, computed once (serially, so it
+    // is deterministic).
     let lower_bound = |p: &Prefix| p.acc + ctx.node_bound(p.depth, p.bins.len());
-    let seed_idx = prefixes
-        .iter()
-        .enumerate()
-        .min_by(|(i, a), (j, b)| lower_bound(a).total_cmp(&lower_bound(b)).then(i.cmp(j)))
-        .map(|(i, _)| i);
-    let seed_res =
-        seed_idx.map(|i| explore_one(oracle, &prefixes[i], greedy_val, options.node_limit));
-    let seed_nodes = seed_res.as_ref().map(|r| r.nodes).unwrap_or(0);
-    let seed_val = match &seed_res {
-        Some(r) if r.bins.is_some() => r.val,
-        _ => greedy_val,
-    };
+    let bounds: Vec<f64> = prefixes.iter().map(lower_bound).collect();
 
-    // The seed's consumption is charged against the global node limit;
-    // only the remainder is split over the other subtrees. When the
-    // search is exact the seed finishes cheaply and the others keep a
-    // full share; when the limit is exhausted the others degrade to
-    // zero-budget probes instead of doubling the total node spend. The
-    // split is a pure function of the (deterministic) seed search, so
-    // results stay independent of worker count and thread timing.
-    let node_budget = options.node_limit.saturating_sub(seed_nodes) / prefixes.len().max(1) as u64;
+    // Fan the subtrees through the generic harness ([`crate::fan`]):
+    // seed phase, budget split, published incumbent, claim queue. Each
+    // subtree's outcome is a pure function of (prefix, outer, budget),
+    // so determinism only needs those chosen deterministically — which
+    // the harness guarantees. The strict skip predicate is the
+    // [`SubtreeSearch`] default.
+    let collected = fan_subtrees(
+        &OnChipFan { ctx: &ctx },
+        &prefixes,
+        &bounds,
+        oracle,
+        greedy_val,
+        options.node_limit,
+        workers,
+    );
 
-    // Fan the remaining subtrees over the workers. The published atomic
-    // bound only ever *skips* whole subtrees (never steers a running
-    // search): a subtree that could win the deterministic reduction has
-    // a lower bound at most the final minimum and is therefore never
-    // skipped, so the result is independent of thread timing.
-    let bound = AtomicU64::new(seed_val.to_bits());
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<SubtreeResult>>> =
-        (0..prefixes.len()).map(|_| Mutex::new(None)).collect();
-    // Claim subtrees most-promising-first (a fixed permutation) so the
-    // published bound tightens as early as possible.
-    let claim_order: Vec<usize> = {
-        let mut idx: Vec<usize> = (0..prefixes.len()).collect();
-        idx.sort_by(|&a, &b| {
-            lower_bound(&prefixes[a])
-                .total_cmp(&lower_bound(&prefixes[b]))
-                .then(a.cmp(&b))
-        });
-        idx
-    };
-    let explore = |worker_oracle: &mut PortOracle| loop {
-        let c = next.fetch_add(1, Ordering::Relaxed);
-        if c >= claim_order.len() {
-            break;
-        }
-        let j = claim_order[c];
-        if Some(j) == seed_idx {
-            continue; // already explored in the seed phase
-        }
-        let p = &prefixes[j];
-        let res = if lower_bound(p) > f64::from_bits(bound.load(Ordering::Relaxed)) {
-            // Strictly above the best published incumbent: nothing in
-            // this subtree can win the reduction. (Strict comparison: a
-            // subtree holding a solution equal to the final minimum is
-            // never skipped, so determinism is preserved.)
-            SubtreeResult {
-                val: f64::INFINITY,
-                bins: None,
-                nodes: 0,
-            }
-        } else {
-            explore_one(worker_oracle, p, seed_val, node_budget)
-        };
-        if res.bins.is_some() {
-            fetch_min_f64(&bound, res.val);
-        }
-        *results[j].lock().expect("no poisoned subtree slot") = Some(res);
-    };
-
-    let workers = workers.min(prefixes.len().max(1));
-    if workers <= 1 {
-        // Straight serial path: the claim loop runs inline on the
-        // calling thread, in canonical claim order, spawning nothing.
-        explore(oracle);
-    } else {
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                let mut worker_oracle = oracle.clone();
-                crate::engine::note_thread_spawn();
-                scope.spawn(move || explore(&mut worker_oracle));
-            }
-        });
-    }
-
-    // Deterministic reduction: greedy incumbent, then the seed subtree,
-    // then the remaining subtrees in canonical depth-first order, each
-    // winning only on strict improvement — the serial first-found-
-    // minimum tie-break.
-    let mut nodes = seed_nodes;
+    // Deterministic reduction: greedy incumbent, then the subtrees in
+    // canonical depth-first order (the seed in its slot — a non-seed
+    // subtree strictly improves on the seed's value or returns nothing,
+    // so no cross-subtree tie can reorder the outcome), each winning
+    // only on strict improvement — the serial first-found-minimum
+    // tie-break.
+    let mut nodes = 0;
     let mut best_val = greedy_val;
     let mut best_bins = greedy.map(|(_, b)| b);
-    if let Some(r) = &seed_res {
-        if let Some(b) = &r.bins {
-            if r.val < best_val {
+    for r in &collected {
+        nodes += r.nodes;
+        if r.val < best_val {
+            if let Some(b) = &r.bins {
                 best_val = r.val;
                 best_bins = Some(b.clone());
-            }
-        }
-    }
-    for slot in &results {
-        let res = slot.lock().expect("no poisoned subtree slot");
-        if let Some(r) = res.as_ref() {
-            nodes += r.nodes;
-            if r.val < best_val {
-                if let Some(b) = &r.bins {
-                    best_val = r.val;
-                    best_bins = Some(b.clone());
-                }
             }
         }
     }

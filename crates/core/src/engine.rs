@@ -52,8 +52,7 @@
 //! ```
 
 use std::cell::Cell;
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 
@@ -62,6 +61,7 @@ use memx_memlib::MemLibrary;
 
 use crate::cache::{self, EvalCache};
 use crate::explore::{evaluate_scheduled_cached, CostReport, EvaluateOptions, Exploration};
+use crate::fan::ClaimQueue;
 use crate::scbd::ScbdResult;
 use crate::ExploreError;
 
@@ -196,7 +196,7 @@ impl<'l> Engine<'l> {
         // key's last use, so the serial path can drop schedules the
         // moment no later point shares them.
         let mut key_of_point: Vec<(u64, u64)> = Vec::with_capacity(points.len());
-        let mut last_use: HashMap<(u64, u64), usize> = HashMap::new();
+        let mut last_use: BTreeMap<(u64, u64), usize> = BTreeMap::new();
         for (i, point) in points.iter().enumerate() {
             let budget = point
                 .options
@@ -240,7 +240,7 @@ impl<'l> Engine<'l> {
             // are computed lazily at their first use, memoized only
             // while a later point still shares them, and handed over
             // (not cloned) at their last use.
-            let mut memo: HashMap<(u64, u64), Result<ScbdResult, ExploreError>> = HashMap::new();
+            let mut memo: BTreeMap<(u64, u64), Result<ScbdResult, ExploreError>> = BTreeMap::new();
             for (i, point) in points.iter().enumerate() {
                 let key = key_of_point[i];
                 let distribute =
@@ -261,7 +261,7 @@ impl<'l> Engine<'l> {
         // per-key lifetime can be tracked without synchronizing on the
         // visitor — the reports themselves still stream).
         let mut unique: Vec<(&DesignPoint, u64)> = Vec::new();
-        let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
+        let mut seen: BTreeMap<(u64, u64), usize> = BTreeMap::new();
         for (i, point) in points.iter().enumerate() {
             seen.entry(key_of_point[i]).or_insert_with(|| {
                 unique.push((point, key_of_point[i].1));
@@ -271,13 +271,14 @@ impl<'l> Engine<'l> {
         let schedules = parallel_map(&unique, self.workers, |_, &(point, budget)| {
             cache::distribute_cached(point.spec, budget, self.cache.as_deref())
         });
-        let scheduled: HashMap<(u64, u64), Result<ScbdResult, ExploreError>> = seen
+        let scheduled: BTreeMap<(u64, u64), Result<ScbdResult, ExploreError>> = seen
             .into_iter()
             .map(|(key, idx)| (key, schedules[idx].clone()))
             .collect();
         let evaluate_point = |i: usize, point: &DesignPoint| {
             let schedule = scheduled
                 .get(&key_of_point[i])
+                // memx-lint: allow(no-panic-paths) — `seen` was filled from the same `key_of_point` entries, so every key is pre-scheduled.
                 .expect("every key pre-scheduled")
                 .clone();
             evaluate_scheduled_point(point, schedule)
@@ -287,7 +288,7 @@ impl<'l> Engine<'l> {
         // completions over a channel; the calling thread reorders them
         // into input order. Equivalent to `parallel_map` but without
         // the all-results-alive slot vector.
-        let next = AtomicUsize::new(0);
+        let queue = ClaimQueue::new();
         let (tx, rx) = mpsc::channel::<(usize, Result<CostReport, ExploreError>)>();
         thread::scope(|scope| {
             for _ in 0..point_workers {
@@ -295,11 +296,7 @@ impl<'l> Engine<'l> {
                 note_thread_spawn();
                 scope.spawn(|| {
                     let tx = tx; // move the clone, not the original
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= points.len() {
-                            break;
-                        }
+                    while let Some(i) = queue.claim(points.len()) {
                         if tx.send((i, evaluate_point(i, &points[i]))).is_err() {
                             break;
                         }
@@ -332,6 +329,7 @@ impl<'l> Engine<'l> {
         self.evaluate_stream(points, |i, result| results[i] = Some(result));
         results
             .into_iter()
+            // memx-lint: allow(no-panic-paths) — `evaluate_stream` calls the visitor exactly once per input index.
             .map(|slot| slot.expect("stream visits every point exactly once"))
             .collect()
     }
@@ -385,18 +383,19 @@ where
     if workers <= 1 || n <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let next = AtomicUsize::new(0);
+    let queue = ClaimQueue::new();
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     thread::scope(|scope| {
         for _ in 0..workers {
             note_thread_spawn();
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                while let Some(i) = queue.claim(n) {
+                    let r = f(i, &items[i]);
+                    // A poisoned slot lock can only come from a sibling
+                    // worker panicking mid-store; the slot is a plain
+                    // `Option`, so recovering the lock is always safe.
+                    *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
                 }
-                let r = f(i, &items[i]);
-                *slots[i].lock().expect("result slot lock not poisoned") = Some(r);
             });
         }
     });
@@ -404,7 +403,8 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("result slot lock not poisoned")
+                .unwrap_or_else(|p| p.into_inner())
+                // memx-lint: allow(no-panic-paths) — the claim queue hands out every index exactly once, so each slot was filled.
                 .expect("every slot filled by a worker")
         })
         .collect()

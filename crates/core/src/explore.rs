@@ -171,6 +171,7 @@ impl<'a> Exploration<'a> {
         let mut report = evaluate(spec, self.lib, options)?;
         report.label = label.into();
         self.reports.push(report);
+        // memx-lint: allow(no-panic-paths) — the report was pushed on the line above.
         Ok(self.reports.last().expect("just pushed"))
     }
 

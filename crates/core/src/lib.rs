@@ -58,6 +58,7 @@ pub mod cache;
 pub mod engine;
 mod error;
 pub mod explore;
+pub mod fan;
 pub mod hierarchy;
 pub mod macp;
 pub mod pruning;

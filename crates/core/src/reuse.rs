@@ -88,6 +88,7 @@ pub fn candidates(spec: &AppSpec, group: BasicGroupId) -> Vec<ReuseCandidate> {
     let stats = analyze(spec)
         .into_iter()
         .find(|s| s.group == group)
+        // memx-lint: allow(no-panic-paths) — `analyze` emits one stats row for every group of the spec.
         .expect("group belongs to spec");
     let mut out = vec![ReuseCandidate {
         group,

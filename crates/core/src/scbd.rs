@@ -43,6 +43,10 @@ use memx_ir::{AppSpec, BasicGroupId, LoopNest, LoopNestId, Placement};
 use crate::macp::{access_duration, body_critical_path};
 use crate::ExploreError;
 
+// memx-lint: fingerprinted(SCBD_ALGO_REVISION) — result-affecting changes
+// to this scheduler (pressure weights aside, which are hashed directly)
+// must bump the revision in `core::cache`.
+
 /// Pressure cost of two accesses to the *same group* overlapping in one
 /// cycle (forces a multi-port memory or a group split). `pub(crate)` so
 /// the persistent cache can fold it into its model fingerprint: a

@@ -396,6 +396,57 @@ proptest! {
     }
 
     #[test]
+    fn fan_exhaustion_stays_bit_identical_across_workers_on_chip(
+        spec in arb_onchip_spec(),
+        node_limit in 1u64..600,
+    ) {
+        // Under an exhausted node budget the fan harness must still
+        // reproduce the serial solver exactly: the seed subtree runs
+        // first with the full budget and the remainder is split by the
+        // canonical prefix order, so whatever the budget cuts off is
+        // cut off identically for every worker count.
+        let lib = MemLibrary::default_07um();
+        let schedule = scbd::distribute(&spec).expect("schedulable");
+        let serial = assign(&spec, &schedule, &lib, &AllocOptions {
+            workers: 1,
+            node_limit,
+            ..AllocOptions::default()
+        });
+        for workers in [2usize, 8] {
+            let fanned = assign(&spec, &schedule, &lib, &AllocOptions {
+                workers,
+                node_limit,
+                ..AllocOptions::default()
+            });
+            prop_assert_eq!(&serial, &fanned, "workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn fan_exhaustion_stays_bit_identical_across_workers_off_chip(
+        spec in arb_offchip_spec(),
+        node_limit in 1u64..600,
+    ) {
+        // Same determinism-under-exhaustion contract for the off-chip
+        // partition search (2–6 off-chip groups plus the on-chip sink).
+        let lib = MemLibrary::default_07um();
+        let schedule = scbd::distribute(&spec).expect("schedulable");
+        let serial = assign(&spec, &schedule, &lib, &AllocOptions {
+            workers: 1,
+            node_limit,
+            ..AllocOptions::default()
+        });
+        for workers in [2usize, 8] {
+            let fanned = assign(&spec, &schedule, &lib, &AllocOptions {
+                workers,
+                node_limit,
+                ..AllocOptions::default()
+            });
+            prop_assert_eq!(&serial, &fanned, "workers={}", workers);
+        }
+    }
+
+    #[test]
     fn pairwise_bound_is_admissible_and_dominates_solo(spec in arb_onchip_spec()) {
         // The two properties that make BoundKind::Pairwise sound and
         // worthwhile, against a ground truth computed by exhaustive

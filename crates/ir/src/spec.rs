@@ -1,6 +1,6 @@
 //! The pruned application specification and its builder.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::hash::StableHasher;
 use crate::{
@@ -232,7 +232,7 @@ pub struct AppSpecBuilder {
     name: String,
     groups: Vec<BasicGroup>,
     nests: Vec<LoopNest>,
-    names: HashMap<String, BasicGroupId>,
+    names: BTreeMap<String, BasicGroupId>,
     cycle_budget: Option<u64>,
     real_time_s: f64,
 }
@@ -244,7 +244,7 @@ impl AppSpecBuilder {
             name: name.into(),
             groups: Vec::new(),
             nests: Vec::new(),
-            names: HashMap::new(),
+            names: BTreeMap::new(),
             cycle_budget: None,
             real_time_s: 1.0,
         }

@@ -1,4 +1,7 @@
 //! Off-chip DRAM part catalog (EDO-DRAM datasheet stand-in).
+//
+// memx-lint: fingerprinted(alloc_model_fingerprint) — every catalog row
+// is hashed into the allocation cache key.
 
 use std::fmt;
 
@@ -381,7 +384,8 @@ impl OffChipCatalog {
                 best = Some((power, sel));
             }
         }
-        Ok(best.expect("catalog verified non-empty").1)
+        best.map(|(_, sel)| sel)
+            .ok_or(SelectPartError::EmptyCatalog)
     }
 }
 

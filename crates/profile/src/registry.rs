@@ -26,7 +26,12 @@ impl ProfileRegistry {
     /// multiple instances of a working buffer aggregate into one basic
     /// group.
     pub fn counter(&self, name: &str) -> Arc<AccessCounter> {
-        let mut map = self.counters.lock().expect("registry poisoned");
+        let mut map = self
+            .counters
+            .lock()
+            // A poisoned registry lock only means a panic elsewhere mid-insert;
+            // the map itself holds monotone counters with no invariant to lose.
+            .unwrap_or_else(|p| p.into_inner());
         Arc::clone(
             map.entry(name.to_owned())
                 .or_insert_with(|| Arc::new(AccessCounter::new())),
@@ -41,7 +46,12 @@ impl ProfileRegistry {
 
     /// Snapshots the current counts of every registered array.
     pub fn snapshot(&self) -> Profile {
-        let map = self.counters.lock().expect("registry poisoned");
+        let map = self
+            .counters
+            .lock()
+            // A poisoned registry lock only means a panic elsewhere mid-insert;
+            // the map itself holds monotone counters with no invariant to lose.
+            .unwrap_or_else(|p| p.into_inner());
         Profile::from_counts(map.iter().map(|(name, c)| {
             let (reads, writes) = c.counts();
             ArrayCounts {
@@ -54,7 +64,12 @@ impl ProfileRegistry {
 
     /// Resets every counter to zero (e.g. to exclude a warm-up encode).
     pub fn reset(&self) {
-        let map = self.counters.lock().expect("registry poisoned");
+        let map = self
+            .counters
+            .lock()
+            // A poisoned registry lock only means a panic elsewhere mid-insert;
+            // the map itself holds monotone counters with no invariant to lose.
+            .unwrap_or_else(|p| p.into_inner());
         for c in map.values() {
             c.reset();
         }

@@ -1,0 +1,81 @@
+//! `memx-lint` CLI: lints the memexplore workspace invariants.
+//!
+//! ```text
+//! memx-lint --workspace          # lint crates/ and src/ under the workspace root
+//! memx-lint path/to/file.rs ...  # lint explicit files
+//! ```
+//!
+//! Prints one `file:line: lint: message` diagnostic per finding, then a
+//! machine-readable summary line
+//! `memx-lint {"files":N,"findings":M,"suppressed":K}`, and exits
+//! nonzero when any unsuppressed finding remains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xlint::{collect_workspace_files, lint_files, Config};
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workspace = args.iter().any(|a| a == "--workspace");
+    let explicit: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let files = if workspace || explicit.is_empty() {
+        let Some(root) = find_workspace_root() else {
+            eprintln!(
+                "memx-lint: no workspace root ([workspace] Cargo.toml) above the current directory"
+            );
+            return ExitCode::from(2);
+        };
+        match collect_workspace_files(&root) {
+            Ok(files) => files,
+            Err(e) => {
+                eprintln!("memx-lint: walking workspace: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut files = Vec::new();
+        for path in explicit {
+            match std::fs::read_to_string(path) {
+                Ok(src) => files.push((path.replace('\\', "/"), src)),
+                Err(e) => {
+                    eprintln!("memx-lint: reading {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        files
+    };
+
+    let report = lint_files(&files, &Config::workspace());
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "memx-lint {{\"files\":{},\"findings\":{},\"suppressed\":{}}}",
+        report.files,
+        report.findings.len(),
+        report.suppressed
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,13 @@
+//! Seeded `no-ambient-state` violations. Never compiled — linted as
+//! text by `tests/lints.rs`.
+
+use std::time::{Instant, SystemTime};
+
+pub fn now_ish() -> (Instant, SystemTime, Option<String>) {
+    let t = Instant::now();
+    let wall = SystemTime::now();
+    let knob = std::env::var("MEMX_SECRET_KNOB").ok();
+    // env::args is deliberate CLI surface, not ambient state:
+    let _argc = std::env::args().count();
+    (t, wall, knob)
+}

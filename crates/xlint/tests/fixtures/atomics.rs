@@ -1,0 +1,20 @@
+//! Seeded `atomics-confined` violations: raw atomics outside the fan
+//! harness. Never compiled — linted as text by `tests/lints.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Sneaky {
+    bits: AtomicU64,
+}
+
+impl Sneaky {
+    pub fn bump(&self) {
+        self.bits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn compare(a: u32, b: u32) -> std::cmp::Ordering {
+        // cmp::Ordering variants are not memory orderings and must not
+        // be flagged.
+        a.cmp(&b)
+    }
+}

@@ -1,0 +1,32 @@
+//! Seeded `no-panic-paths` violations. Never compiled — linted as text
+//! by `tests/lints.rs` under a solver-crate virtual path.
+
+pub fn broken(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("has two");
+    if *first > *second {
+        panic!("unordered");
+    }
+    match first {
+        0 => unreachable!(),
+        _ => *first,
+    }
+}
+
+pub fn fine(v: &[u32]) -> u32 {
+    // unwrap_or-style combinators are not panic paths.
+    v.first().copied().unwrap_or(0) + v.get(1).copied().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(broken(&[1, 1]), 1);
+        let x: Option<u32> = Some(3);
+        x.unwrap();
+        x.expect("fine in tests");
+    }
+}

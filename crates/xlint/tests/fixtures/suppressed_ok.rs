@@ -1,0 +1,12 @@
+//! Justified suppressions: every would-be finding carries an
+//! `allow` with a reason, so this file must lint clean.
+
+pub fn guarded(v: &[u32]) -> u32 {
+    if v.is_empty() {
+        return 0;
+    }
+    // memx-lint: allow(no-panic-paths) — emptiness is checked two lines up.
+    let first = v.first().unwrap();
+    let last = v.last().expect("non-empty, checked above"); // memx-lint: allow(no-panic-paths) — same emptiness check.
+    first + last
+}

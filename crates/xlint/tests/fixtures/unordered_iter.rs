@@ -1,0 +1,15 @@
+//! Seeded `no-unordered-iter` violations. Never compiled — linted as
+//! text by `tests/lints.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(words: &[&str]) -> usize {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    let mut seen: HashSet<&str> = HashSet::new();
+    for w in words {
+        *counts.entry(w).or_default() += 1;
+        seen.insert(w);
+    }
+    // A string mention must not be flagged: "HashMap iteration".
+    seen.len()
+}
