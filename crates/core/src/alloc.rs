@@ -55,6 +55,75 @@
 //! leaves — so the canonical-first minimum partition (the exhaustive
 //! scan's tie-break) always survives.
 //!
+//! # Symmetric-group dominance
+//!
+//! Tie plateaus are factorial: `n` mutually compatible groups with
+//! identical dimensions and traffic induce whole orbits of partitions
+//! that are permutations of one another, every one priced bit-for-bit
+//! identically — the floor cannot separate them, so the search revisits
+//! each orbit once per permutation. The off-chip search collapses these
+//! orbits with a dominance rule over *adjacent symmetric groups*
+//! ([`AllocOptions::off_chip_dominance`]): groups `i-1` and `i` are
+//! symmetric when their words, bitwidth, port minimum and weighted
+//! traffic are bitwise identical and neither appears in any
+//! port-conflict slot. For such a pair only assignments where `i`'s
+//! block-choice index is `>=` `i-1`'s are explored (joining an
+//! earlier-indexed block than the previous twin did is *dominated*;
+//! opening a fresh block is always allowed, its choice index being the
+//! largest).
+//!
+//! **Soundness — the canonical-first optimum survives.** The canonical
+//! DFS tries children in ascending choice-index order, so complete
+//! partitions are visited in lexicographic choice-vector order and the
+//! first-found minimum is the lex-smallest among equal minima. Suppose
+//! a partition `P` violates the rule at an adjacent symmetric pair:
+//! group `i-1` chose index `c`, group `i` chose `c' < c`. Swapping the
+//! two groups' assignments yields a partition `P'` with a lex-smaller
+//! choice vector whose every block prices to the *same bits*:
+//!
+//! * the two groups' (words, bitwidth, min-ports, traffic) tuples are
+//!   bitwise identical, and because their local indices are *adjacent*
+//!   no other member sorts between them — each affected block's
+//!   member-order dimension fold consumes bitwise-equal values at the
+//!   same positions;
+//! * block creation order is unchanged: block `c'` existed before
+//!   either group was placed, and if `c` was freshly opened by `i-1`
+//!   in `P`, then in `P'` it is opened — at the same index — by `i`,
+//!   with no other open in between;
+//! * neither group appears in any conflict slot, so every subset's
+//!   port requirement (and hence feasibility) is unchanged.
+//!
+//! So `P'` is feasible, costs bit-identically, and precedes `P` in
+//! visiting order. Iterating the swap (each strictly lex-decreasing,
+//! over a finite orbit) reaches a rule-satisfying partition of equal
+//! cost bits — hence the lex-smallest minimum satisfies the rule and
+//! the pruned search returns bit-identical results; the property tests
+//! pin this against the dominance-free exhaustive reference. A pure
+//! plateau of `n` twins shrinks from `Bell(n)` partitions to the
+//! `2^(n-1)` nondecreasing choice vectors
+//! ([`AllocStats::off_chip_dominance_cuts`] counts the suppressed
+//! branches).
+//!
+//! # Incremental bounds
+//!
+//! Both solvers maintain their bound state under assign/unassign
+//! deltas instead of recomputing it from scratch per node
+//! ([`AllocStats::bound_incremental_updates`]):
+//!
+//! * the off-chip search threads a running committed-block sum
+//!   (`BlockSum`) through the recursion: changing one block's price
+//!   refolds only the prefix-sum tail from that block's index onward,
+//!   in the same left-to-right block order the retired exhaustive scan
+//!   accumulated — so the running total is *bit-identical* to a fresh
+//!   block-order summation at every node (debug builds assert exactly
+//!   that, node by node), and backtracking refolds the restored prices
+//!   back to the previous bits;
+//! * the on-chip search maintains the still-to-open memory count as an
+//!   integer delta and derives `node_bound` from it
+//!   (`SuffixBound::bound_with`) — the float expression is evaluated
+//!   fresh from the same table entries as the from-scratch bound,
+//!   never accumulated across nodes, so no float drift is possible.
+//!
 //! # Off-chip node budget
 //!
 //! The off-chip search shares [`AllocOptions::node_limit`]. Unlike the
@@ -203,6 +272,11 @@ pub struct AllocOptions {
     pub workers: usize,
     /// Suffix lower bound used for branch-and-bound pruning.
     pub bound: BoundKind,
+    /// Prune dominated assignments of adjacent symmetric off-chip
+    /// groups (see the module docs' soundness proof). The result is
+    /// bit-identical either way; disabling is a measurable baseline
+    /// for the node cut on tie plateaus.
+    pub off_chip_dominance: bool,
 }
 
 impl Default for AllocOptions {
@@ -215,6 +289,7 @@ impl Default for AllocOptions {
             node_limit: 2_000_000,
             workers: 0,
             bound: BoundKind::Pairwise,
+            off_chip_dominance: true,
         }
     }
 }
@@ -248,6 +323,15 @@ pub struct AllocStats {
     /// enumeration had to scan. `off_chip_bb_nodes` sitting below this
     /// is the branch-and-bound's pruning gain.
     pub off_chip_exhaustive_partitions: u64,
+    /// Off-chip branches suppressed by the symmetric-group dominance
+    /// rule ([`AllocOptions::off_chip_dominance`]): join candidates
+    /// below the previous twin's choice index that were never expanded.
+    pub off_chip_dominance_cuts: u64,
+    /// Assign/unassign delta applications to incrementally-maintained
+    /// bound state, across both solvers (off-chip running committed
+    /// sums and on-chip open-count deltas) — each replaces a
+    /// from-scratch recomputation.
+    pub bound_incremental_updates: u64,
 }
 
 /// Where an allocated memory lives.
@@ -413,12 +497,17 @@ impl PortOracle {
             return p;
         }
         let mut ports = 1u32;
-        // Only the first 64 groups can appear in a mask (assign rejects
-        // accessed groups beyond that); `take` keeps the shift in range.
-        for (i, &mp) in self.min_ports.iter().enumerate().take(u64::BITS as usize) {
-            if mask & (1 << i) != 0 {
+        // Visit only the set bits — this is the innermost pricing
+        // primitive and masks are sparse, so scanning all 64 positions
+        // per uncached mask was measurable. `get` keeps the historical
+        // behavior of ignoring bits beyond the group table.
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            if let Some(&mp) = self.min_ports.get(i) {
                 ports = ports.max(mp);
             }
+            m &= m - 1;
         }
         for slot in self.slots.iter() {
             let overlap: u32 = slot
@@ -744,6 +833,10 @@ struct OffChipCtx<'a> {
     /// `floor_suffix[i]` = Σ over `groups[i..]` of the per-group
     /// dynamic-power floor (see [`off_chip_group_floor`]).
     floor_suffix: Vec<f64>,
+    /// `sym_prev[i]` — group `i` is symmetric to its predecessor
+    /// `i-1` (see [`off_chip_symmetry`]), enabling the dominance rule
+    /// at depth `i`. All-false when dominance is disabled.
+    sym_prev: Vec<bool>,
 }
 
 impl OffChipCtx<'_> {
@@ -804,6 +897,50 @@ impl OffChipCtx<'_> {
             kind: MemoryKind::OffChip(sel),
         }
     }
+}
+
+/// Computes `sym_prev` for the dominance rule: `sym_prev[i]` holds when
+/// groups `i-1` and `i` are interchangeable everywhere the solver can
+/// tell them apart — bitwise-identical words, bitwidth, port minimum
+/// and weighted traffic, and neither appears in any port-conflict slot
+/// (a slot occupant's overlap contribution would not survive the swap).
+/// Adjacency in local index is what makes the swap argument in the
+/// module docs airtight: no other member can sort between the twins in
+/// a block's dimension fold.
+fn off_chip_symmetry(
+    spec: &AppSpec,
+    traffic: &[Traffic],
+    oracle: &PortOracle,
+    groups: &[BasicGroupId],
+    enabled: bool,
+) -> Vec<bool> {
+    let n = groups.len();
+    if !enabled || n == 0 {
+        return vec![false; n];
+    }
+    let in_conflict_slot = |g: BasicGroupId| {
+        oracle
+            .slots
+            .iter()
+            .any(|slot| slot.iter().any(|&(idx, _)| idx == g.index()))
+    };
+    let key = |g: BasicGroupId| {
+        let info = spec.group(g);
+        (
+            info.words(),
+            info.bitwidth(),
+            info.min_ports(),
+            traffic[g.index()].random.to_bits(),
+            traffic[g.index()].burst.to_bits(),
+        )
+    };
+    let mut sym = vec![false; n];
+    for i in 1..n {
+        sym[i] = key(groups[i]) == key(groups[i - 1])
+            && !in_conflict_slot(groups[i])
+            && !in_conflict_slot(groups[i - 1]);
+    }
+    sym
 }
 
 /// Per-worker lazy block pricer: each worker owns a clone of the port
@@ -882,11 +1019,81 @@ fn off_chip_group_floor(
     floor_e * (traffic[g.index()].energy_accesses() / time_s) / 1e9
 }
 
+/// The incrementally-maintained committed-block sum of a partial
+/// partition, with the float fold order pinned to block index.
+///
+/// `prefix[j]` is the left-to-right sum `0.0 + prices[0] + … +
+/// prices[j]` — exactly the accumulation [`OffChipPricer::committed`]
+/// performs — so [`BlockSum::total`] is bit-identical to a fresh
+/// block-order summation at every node, and a delta touching block `b`
+/// only refolds `prefix[b..]`. Restoring a block's previous price and
+/// refolding reproduces the previous bits exactly (the fold consumes
+/// identical values in identical order), so backtracking is lossless.
+#[derive(Clone, Default)]
+struct BlockSum {
+    blocks: Vec<u64>,
+    prices: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl BlockSum {
+    fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The committed sum: bitwise what `pricer.committed(&self.blocks)`
+    /// would return.
+    fn total(&self) -> f64 {
+        self.prefix.last().copied().unwrap_or(0.0)
+    }
+
+    /// Refolds `prefix[from..]` from the prices.
+    fn refold(&mut self, from: usize) {
+        self.prefix.truncate(from);
+        let mut acc = if from == 0 {
+            0.0
+        } else {
+            self.prefix[from - 1]
+        };
+        for j in from..self.prices.len() {
+            acc += self.prices[j];
+            self.prefix.push(acc);
+        }
+    }
+
+    /// Replaces block `b` (grow or restore), refolding the tail.
+    fn set(&mut self, b: usize, mask: u64, price: f64) {
+        self.blocks[b] = mask;
+        self.prices[b] = price;
+        self.refold(b);
+    }
+
+    /// Opens a new block at the end.
+    fn push(&mut self, mask: u64, price: f64) {
+        self.blocks.push(mask);
+        self.prices.push(price);
+        let from = self.prefix.len();
+        self.refold(from);
+    }
+
+    /// Closes the last block again.
+    fn pop(&mut self) {
+        self.blocks.pop();
+        self.prices.pop();
+        self.prefix.pop();
+    }
+}
+
 /// A partial canonical partition of the first `depth` off-chip groups.
 #[derive(Clone)]
 struct OffChipPrefix {
-    blocks: Vec<u64>,
+    sum: BlockSum,
     depth: usize,
+    /// Block-choice index of group `depth - 1` (0 when `depth == 0`;
+    /// only read when `sym_prev[depth]` holds, which implies
+    /// `depth > 0`) — the dominance rule's lower limit for the next
+    /// group's join candidates.
+    prev_choice: usize,
 }
 
 /// Outcome of one explored off-chip subtree.
@@ -897,6 +1104,8 @@ struct OffChipSubtreeResult {
     partitions: u64,
     truncated: bool,
     skipped: bool,
+    dominance_cuts: u64,
+    updates: u64,
 }
 
 /// The off-chip solver's instantiation of the generic fan harness
@@ -922,14 +1131,21 @@ impl<'a> SubtreeSearch for OffChipFan<'a> {
         if p.depth == self.ctx.n() {
             // The whole tree fit into the prefix expansion: the prefix
             // *is* a complete partition (already bounded by `outer`).
-            let mw = pricer.committed(&p.blocks);
+            let mw = p.sum.total();
+            debug_assert_eq!(
+                mw.to_bits(),
+                pricer.committed(&p.sum.blocks).to_bits(),
+                "running committed sum drifted from the fresh block-order fold"
+            );
             return OffChipSubtreeResult {
                 val: mw,
-                blocks: Some(p.blocks.clone()),
+                blocks: Some(p.sum.blocks.clone()),
                 nodes: 1,
                 partitions: 1,
                 truncated: false,
                 skipped: false,
+                dominance_cuts: 0,
+                updates: 0,
             };
         }
         let mut dfs = OffChipDfs {
@@ -941,9 +1157,11 @@ impl<'a> SubtreeSearch for OffChipFan<'a> {
             node_limit: budget,
             truncated: false,
             partitions: 0,
+            dominance_cuts: 0,
+            updates: 0,
         };
-        let mut blocks = p.blocks.clone();
-        dfs.recurse(pricer, p.depth, &mut blocks);
+        let mut sum = p.sum.clone();
+        dfs.recurse(pricer, p.depth, &mut sum, p.prev_choice);
         OffChipSubtreeResult {
             val: if dfs.best.is_some() {
                 dfs.best_mw
@@ -955,6 +1173,8 @@ impl<'a> SubtreeSearch for OffChipFan<'a> {
             partitions: dfs.partitions,
             truncated: dfs.truncated,
             skipped: false,
+            dominance_cuts: dfs.dominance_cuts,
+            updates: dfs.updates,
         }
     }
 
@@ -970,6 +1190,8 @@ impl<'a> SubtreeSearch for OffChipFan<'a> {
             partitions: 0,
             truncated: false,
             skipped: true,
+            dominance_cuts: 0,
+            updates: 0,
         }
     }
 
@@ -983,6 +1205,15 @@ impl<'a> SubtreeSearch for OffChipFan<'a> {
 
     fn skip_above(&self, lb: f64, bound: f64) -> bool {
         above_with_slack(lb, bound)
+    }
+
+    fn merge_state(&self, main: &mut OffChipPricer<'a>, worker: OffChipPricer<'a>) {
+        // Prices and port requirements are pure functions of the
+        // instance, so worker-discovered entries are bit-identical to
+        // what the serial pricer would compute — merging them back only
+        // completes the memo (and hence the persisted block catalog).
+        main.cache.extend(worker.cache);
+        main.oracle.cache.extend(worker.oracle.cache);
     }
 }
 
@@ -1002,10 +1233,18 @@ struct OffChipDfs<'a> {
     node_limit: u64,
     truncated: bool,
     partitions: u64,
+    dominance_cuts: u64,
+    updates: u64,
 }
 
 impl OffChipDfs<'_> {
-    fn recurse(&mut self, pricer: &mut OffChipPricer<'_>, i: usize, blocks: &mut Vec<u64>) {
+    fn recurse(
+        &mut self,
+        pricer: &mut OffChipPricer<'_>,
+        i: usize,
+        sum: &mut BlockSum,
+        prev_choice: usize,
+    ) {
         if self.truncated {
             return;
         }
@@ -1014,7 +1253,12 @@ impl OffChipDfs<'_> {
             self.truncated = true;
             return;
         }
-        let committed = pricer.committed(blocks);
+        let committed = sum.total();
+        debug_assert_eq!(
+            committed.to_bits(),
+            pricer.committed(&sum.blocks).to_bits(),
+            "running committed sum drifted from the fresh block-order fold"
+        );
         let lb = committed + self.ctx.floor_suffix[i];
         // Ulp-guarded against the outer bound (a tie may hide the
         // canonical-first optimum), exact non-strict against a leaf
@@ -1027,26 +1271,35 @@ impl OffChipDfs<'_> {
             self.partitions += 1;
             if committed < self.best_mw {
                 self.best_mw = committed;
-                self.best = Some(blocks.clone());
+                self.best = Some(sum.blocks.clone());
             }
             return;
         }
         let bit = 1u64 << i;
-        for b in 0..blocks.len() {
-            let grown = blocks[b] | bit;
+        // Dominance: a twin of the previous group only joins blocks at
+        // or after the previous twin's choice (module docs prove the
+        // canonical-first optimum survives this).
+        let start = if self.ctx.sym_prev[i] { prev_choice } else { 0 };
+        self.dominance_cuts += start as u64;
+        for b in start..sum.len() {
+            let grown = sum.blocks[b] | bit;
             // Infeasible grown blocks prune the branch — sound because
             // the port requirement is monotone in the group subset.
-            if pricer.price(grown).is_some() {
-                let old = blocks[b];
-                blocks[b] = grown;
-                self.recurse(pricer, i + 1, blocks);
-                blocks[b] = old;
+            if let Some(price) = pricer.price(grown) {
+                let old_mask = sum.blocks[b];
+                let old_price = sum.prices[b];
+                sum.set(b, grown, price);
+                self.updates += 1;
+                self.recurse(pricer, i + 1, sum, b);
+                sum.set(b, old_mask, old_price);
             }
         }
-        if pricer.price(bit).is_some() {
-            blocks.push(bit);
-            self.recurse(pricer, i + 1, blocks);
-            blocks.pop();
+        if let Some(price) = pricer.price(bit) {
+            let opened = sum.len();
+            sum.push(bit, price);
+            self.updates += 1;
+            self.recurse(pricer, i + 1, sum, opened);
+            sum.pop();
         }
     }
 }
@@ -1089,11 +1342,13 @@ fn off_chip_expand(
     ctx: &OffChipCtx<'_>,
     pricer: &mut OffChipPricer<'_>,
     outer: f64,
+    stats: &mut AllocStats,
 ) -> Vec<OffChipPrefix> {
     let n = ctx.n();
     let mut level = vec![OffChipPrefix {
-        blocks: Vec::new(),
+        sum: BlockSum::default(),
         depth: 0,
+        prev_choice: 0,
     }];
     while level.len() < TARGET_SUBTREES && level.iter().any(|p| p.depth < n) {
         let mut next: Vec<OffChipPrefix> = Vec::with_capacity(level.len() * 2);
@@ -1103,28 +1358,45 @@ fn off_chip_expand(
                 continue;
             }
             let bit = 1u64 << p.depth;
-            let mut push_child = |blocks: Vec<u64>, pricer: &mut OffChipPricer<'_>| {
-                let lb = pricer.committed(&blocks) + ctx.floor_suffix[p.depth + 1];
+            let mut push_child = |sum: BlockSum, choice: usize, pricer: &mut OffChipPricer<'_>| {
+                debug_assert_eq!(
+                    sum.total().to_bits(),
+                    pricer.committed(&sum.blocks).to_bits(),
+                    "running committed sum drifted from the fresh block-order fold"
+                );
+                let lb = sum.total() + ctx.floor_suffix[p.depth + 1];
                 if above_with_slack(lb, outer) {
                     return; // clearly above a real partition's cost
                 }
                 next.push(OffChipPrefix {
-                    blocks,
+                    sum,
                     depth: p.depth + 1,
+                    prev_choice: choice,
                 });
             };
-            for b in 0..p.blocks.len() {
-                let grown = p.blocks[b] | bit;
-                if pricer.price(grown).is_some() {
-                    let mut blocks = p.blocks.clone();
-                    blocks[b] = grown;
-                    push_child(blocks, pricer);
+            // Same dominance rule as the depth-first search: prefixes
+            // dominated there are never materialized here either.
+            let start = if ctx.sym_prev[p.depth] {
+                p.prev_choice
+            } else {
+                0
+            };
+            stats.off_chip_dominance_cuts += start as u64;
+            for b in start..p.sum.len() {
+                let grown = p.sum.blocks[b] | bit;
+                if let Some(price) = pricer.price(grown) {
+                    let mut sum = p.sum.clone();
+                    sum.set(b, grown, price);
+                    stats.bound_incremental_updates += 1;
+                    push_child(sum, b, pricer);
                 }
             }
-            if pricer.price(bit).is_some() {
-                let mut blocks = p.blocks.clone();
-                blocks.push(bit);
-                push_child(blocks, pricer);
+            if let Some(price) = pricer.price(bit) {
+                let mut sum = p.sum.clone();
+                let opened = sum.len();
+                sum.push(bit, price);
+                stats.bound_incremental_updates += 1;
+                push_child(sum, opened, pricer);
             }
         }
         if next.is_empty() {
@@ -1164,6 +1436,17 @@ fn assign_off_chip(
             memx_memlib::SelectPartError::EmptyCatalog,
         ));
     }
+    // Power figures divide traffic by the real-time window: a
+    // zero/negative/non-finite window (or non-finite traffic) would
+    // make every floor NaN/∞, silently defeating `above_with_slack`
+    // pruning instead of failing loudly. Reject the instance up front.
+    if !(time_s.is_finite() && time_s > 0.0)
+        || groups.iter().any(|&g| {
+            !traffic[g.index()].random.is_finite() || !traffic[g.index()].burst.is_finite()
+        })
+    {
+        return Err(ExploreError::BadOffChipPricing { time_s });
+    }
     let n = groups.len();
     stats.off_chip_exhaustive_partitions = stats
         .off_chip_exhaustive_partitions
@@ -1180,6 +1463,7 @@ fn assign_off_chip(
         groups,
         time_s,
         floor_suffix,
+        sym_prev: off_chip_symmetry(spec, traffic, oracle, groups, options.off_chip_dominance),
     };
     let mut pricer = OffChipPricer {
         ctx: &ctx,
@@ -1217,10 +1501,10 @@ fn assign_off_chip(
 
     // Split the canonical tree into deterministic subtrees and compute
     // each root's lower bound once (serially, so it is deterministic).
-    let prefixes = off_chip_expand(&ctx, &mut pricer, greedy_mw);
+    let prefixes = off_chip_expand(&ctx, &mut pricer, greedy_mw, stats);
     let bounds: Vec<f64> = prefixes
         .iter()
-        .map(|p| pricer.committed(&p.blocks) + ctx.floor_suffix[p.depth])
+        .map(|p| p.sum.total() + ctx.floor_suffix[p.depth])
         .collect();
 
     // Fan the subtrees through the generic harness ([`crate::fan`]):
@@ -1246,6 +1530,8 @@ fn assign_off_chip(
     for r in &collected {
         stats.off_chip_bb_nodes += r.nodes;
         stats.off_chip_partitions += r.partitions;
+        stats.off_chip_dominance_cuts += r.dominance_cuts;
+        stats.bound_incremental_updates += r.updates;
         if r.skipped {
             stats.off_chip_pruned_subtrees += 1;
         }
@@ -1278,9 +1564,11 @@ fn assign_off_chip(
             reason: "off-chip groups overlap beyond dual-port bandwidth".to_owned(),
         });
     };
-    // Persist the serial pricer's memo for the next process. Only on a
-    // miss: on a hit the entry already exists (and a parallel run's
-    // serial memo would be a subset of what it was seeded with).
+    // Persist the pricer's memo for the next process — including the
+    // masks worker pricer clones discovered inside their subtrees,
+    // which [`OffChipFan::merge_state`] folded back after the fan (so
+    // a warm run re-seeds the *full* catalog, not just the serial
+    // pre-seed). Only on a miss: on a hit the entry already exists.
     if let (Some(cache), Some(key)) = (cache, blocks_key.as_ref()) {
         if !blocks_from_cache {
             let mut entries: Vec<(u64, Option<f64>)> =
@@ -1341,6 +1629,10 @@ pub fn off_chip_exhaustive_reference(
         groups: &groups,
         time_s,
         floor_suffix: vec![0.0; groups.len() + 1],
+        // The ground truth stays dominance-free: every partition is
+        // scanned, so the dominance property tests compare against the
+        // genuinely unpruned canonical-first optimum.
+        sym_prev: vec![false; groups.len()],
     };
     let mut pricer = OffChipPricer {
         ctx: &ctx,
@@ -1602,7 +1894,15 @@ impl SuffixBound {
     /// Lower bound on the cost the unassigned suffix `order[i..]` adds,
     /// with `open` non-empty memories so far and `k` memories in total.
     fn bound(&self, i: usize, open: usize, k: usize) -> f64 {
-        let to_open = k.saturating_sub(open);
+        self.bound_with(i, k.saturating_sub(open))
+    }
+
+    /// [`SuffixBound::bound`] from the incrementally-maintained
+    /// still-to-open count instead of `(open, k)`. The float expression
+    /// is evaluated fresh from the same table entries — only the
+    /// *integer* delta is maintained across nodes, so the two paths are
+    /// bit-identical by construction (debug builds assert it per node).
+    fn bound_with(&self, i: usize, to_open: usize) -> f64 {
         let base = self.base[i] + self.per_block * to_open as f64;
         match &self.merge {
             None => base,
@@ -1721,7 +2021,8 @@ fn sweep_on_chip(
         }
     }
     // Seed phase: the whole pool works on the most promising size.
-    let (seed_mems, seed_nodes) = assign_on_chip(&sweep, oracle, counts[seed_pos], workers);
+    let (seed_mems, seed_nodes, seed_updates) =
+        assign_on_chip(&sweep, oracle, counts[seed_pos], workers);
     let shared = Incumbent::new(
         seed_mems
             .as_deref()
@@ -1741,23 +2042,23 @@ fn sweep_on_chip(
             // costing at least the root bound — can never win the
             // strict ascending-k reduction, so skipping it cannot
             // change the result regardless of thread timing.
-            return (None, 0u64, true);
+            return (None, 0u64, 0u64, true);
         }
         let mut worker_oracle = oracle.clone();
-        let (mems, nodes) = assign_on_chip(&sweep, &mut worker_oracle, k, inner_workers);
+        let (mems, nodes, updates) = assign_on_chip(&sweep, &mut worker_oracle, k, inner_workers);
         if let Some(m) = &mems {
             shared.publish_min(on_chip_scalar(m, options));
         }
-        (mems, nodes, false)
+        (mems, nodes, updates, false)
     });
 
     // Canonical reduction in ascending-k input order, strict improvement
     // — the serial sweep's first-found-minimum tie-break.
     let mut best: Option<(f64, Vec<MemoryInstance>)> = None;
-    let mut seed_slot = Some((seed_mems, seed_nodes, false));
+    let mut seed_slot = Some((seed_mems, seed_nodes, seed_updates, false));
     let mut fanned = fanned.into_iter();
     for i in 0..counts.len() {
-        let (mems, nodes, skipped) = if i == seed_pos {
+        let (mems, nodes, updates, skipped) = if i == seed_pos {
             // memx-lint: allow(no-panic-paths) — the seed slot is taken exactly once (at `i == seed_pos`).
             seed_slot.take().expect("seed reduced once")
         } else {
@@ -1765,6 +2066,7 @@ fn sweep_on_chip(
             fanned.next().expect("one fanned result per non-seed size")
         };
         stats.bb_nodes += nodes;
+        stats.bound_incremental_updates += updates;
         if skipped {
             stats.sweep_skips += 1;
         }
@@ -1816,6 +2118,12 @@ impl SearchCtx<'_> {
     fn node_bound(&self, i: usize, open: usize) -> f64 {
         self.sweep.bound.bound(i, open, self.k)
     }
+
+    /// [`SearchCtx::node_bound`] from the maintained still-to-open
+    /// delta (see [`SuffixBound::bound_with`]).
+    fn node_bound_with(&self, i: usize, to_open: usize) -> f64 {
+        self.sweep.bound.bound_with(i, to_open)
+    }
 }
 
 /// A partial canonical assignment of the first `depth` groups.
@@ -1835,6 +2143,11 @@ struct Dfs<'a> {
     best: Option<Vec<Vec<BasicGroupId>>>,
     nodes: u64,
     node_limit: u64,
+    /// Memories still to open (`k − bins.len()`, saturating),
+    /// maintained as an integer delta across assign/unassign instead of
+    /// being re-derived per node.
+    to_open: usize,
+    updates: u64,
 }
 
 impl Dfs<'_> {
@@ -1854,7 +2167,13 @@ impl Dfs<'_> {
         if bins.len() + remaining < self.ctx.k {
             return; // cannot open enough memories any more
         }
-        if acc + self.ctx.node_bound(i, bins.len()) >= self.best_scalar {
+        let node_bound = self.ctx.node_bound_with(i, self.to_open);
+        debug_assert_eq!(
+            node_bound.to_bits(),
+            self.ctx.node_bound(i, bins.len()).to_bits(),
+            "maintained to-open delta drifted from the from-scratch bound"
+        );
+        if acc + node_bound >= self.best_scalar {
             return;
         }
         if i == self.ctx.order().len() {
@@ -1882,7 +2201,10 @@ impl Dfs<'_> {
             bins.push(vec![g]);
             if let Some(scalar) = self.ctx.memory_scalar(oracle, &bins[bins.len() - 1]) {
                 bin_scalars.push(scalar);
+                self.to_open = self.to_open.saturating_sub(1);
+                self.updates += 1;
                 self.recurse(oracle, i + 1, bins, bin_scalars, acc + scalar);
+                self.to_open += 1;
                 bin_scalars.pop();
             }
             bins.pop();
@@ -1962,6 +2284,7 @@ struct SubtreeResult {
     val: f64,
     bins: Option<Vec<Vec<BasicGroupId>>>,
     nodes: u64,
+    updates: u64,
 }
 
 /// The on-chip solver's instantiation of the generic fan harness
@@ -1993,12 +2316,14 @@ impl SubtreeSearch for OnChipFan<'_> {
                     val: p.acc,
                     bins: Some(p.bins.clone()),
                     nodes: 1,
+                    updates: 0,
                 };
             }
             return SubtreeResult {
                 val: f64::INFINITY,
                 bins: None,
                 nodes: 1,
+                updates: 0,
             };
         }
         let mut dfs = Dfs {
@@ -2007,6 +2332,8 @@ impl SubtreeSearch for OnChipFan<'_> {
             best: None,
             nodes: 0,
             node_limit: budget,
+            to_open: ctx.k.saturating_sub(p.bins.len()),
+            updates: 0,
         };
         let mut bins = p.bins.clone();
         let mut bin_scalars = p.bin_scalars.clone();
@@ -2019,6 +2346,7 @@ impl SubtreeSearch for OnChipFan<'_> {
             },
             bins: dfs.best,
             nodes: dfs.nodes,
+            updates: dfs.updates,
         }
     }
 
@@ -2031,6 +2359,7 @@ impl SubtreeSearch for OnChipFan<'_> {
             val: f64::INFINITY,
             bins: None,
             nodes: 0,
+            updates: 0,
         }
     }
 
@@ -2041,22 +2370,29 @@ impl SubtreeSearch for OnChipFan<'_> {
     fn nodes(&self, r: &SubtreeResult) -> u64 {
         r.nodes
     }
+
+    fn merge_state(&self, main: &mut PortOracle, worker: PortOracle) {
+        // Port requirements are pure functions of the slot table, so
+        // worker-memoized entries are bit-identical to the serial
+        // oracle's; merging only warms the memo.
+        main.cache.extend(worker.cache);
+    }
 }
 
 /// Branch-and-bound assignment of the sweep's groups into exactly `k`
 /// on-chip memories, fanned out over `workers` threads. Returns `None`
 /// when infeasible under the port limit, plus the branch-and-bound
-/// nodes consumed. Deterministic: the result is bit-identical for every
-/// worker count (see module docs); the node count is deterministic for
-/// `workers <= 1`.
+/// nodes and incremental bound updates consumed. Deterministic: the
+/// result is bit-identical for every worker count (see module docs);
+/// the counters are deterministic for `workers <= 1`.
 fn assign_on_chip(
     sweep: &OnChipSweep<'_>,
     oracle: &mut PortOracle,
     k: usize,
     workers: usize,
-) -> (Option<Vec<MemoryInstance>>, u64) {
+) -> (Option<Vec<MemoryInstance>>, u64, u64) {
     if sweep.order.is_empty() || k > sweep.order.len() {
-        return (None, 0);
+        return (None, 0, 0);
     }
     let ctx = SearchCtx { sweep, k };
     let options = sweep.options;
@@ -2138,10 +2474,12 @@ fn assign_on_chip(
     // only on strict improvement — the serial first-found-minimum
     // tie-break.
     let mut nodes = 0;
+    let mut updates = 0;
     let mut best_val = greedy_val;
     let mut best_bins = greedy.map(|(_, b)| b);
     for r in &collected {
         nodes += r.nodes;
+        updates += r.updates;
         if r.val < best_val {
             if let Some(b) = &r.bins {
                 best_val = r.val;
@@ -2151,7 +2489,7 @@ fn assign_on_chip(
     }
 
     let Some(bins) = best_bins else {
-        return (None, nodes);
+        return (None, nodes, updates);
     };
     let mems = bins
         .iter()
@@ -2168,7 +2506,7 @@ fn assign_on_chip(
             )
         })
         .collect();
-    (Some(mems), nodes)
+    (Some(mems), nodes, updates)
 }
 
 /// Root lower bounds of the on-chip search for `k` memories, as
@@ -2825,7 +3163,7 @@ mod tests {
         // (The plateau spec guarantees a wide off-chip subtree fan; the
         // off-heavy spec above collapses to a single subtree now that
         // the bound prunes the off-chip tree.)
-        let spec = plateau_off_chip_spec();
+        let spec = plateau_off_chip_spec(10);
         let s = scbd::distribute(&spec).unwrap();
         let before = crate::engine::thread_spawns_on_current_thread();
         assign(
@@ -2950,13 +3288,17 @@ mod tests {
         }
     }
 
-    /// Worst-case plateau: 10 off-chip groups of exactly one 4M-device
-    /// each, so *every* partition prices identically (k merged groups
-    /// need k devices of the same part either way) and the bound cannot
-    /// cut the Bell-number tree down.
-    fn plateau_off_chip_spec() -> AppSpec {
+    /// Worst-case plateau: `count` off-chip groups of exactly one
+    /// 4M-device each, so *every* partition prices identically (k merged
+    /// groups need k devices of the same part either way) and the bound
+    /// cannot cut the Bell-number tree down. The groups are bitwise
+    /// symmetric (same size, width, traffic, no conflicts), which makes
+    /// this the symmetric-group dominance rule's home turf: with it the
+    /// surviving tree collapses to the 2^(count-1) nondecreasing-choice
+    /// prefixes.
+    fn plateau_off_chip_spec(count: usize) -> AppSpec {
         let mut b = AppSpecBuilder::new("t");
-        let groups: Vec<_> = (0..10)
+        let groups: Vec<_> = (0..count)
             .map(|i| {
                 b.basic_group_placed(format!("f{i}"), 4 << 20, 8, Placement::OffChip)
                     .unwrap()
@@ -2975,8 +3317,9 @@ mod tests {
         // A tie-heavy plateau with a starved node budget: the search
         // cannot prove an optimum and must say so — with the same error
         // for every worker count, never a silently unproven
-        // organization.
-        let spec = plateau_off_chip_spec();
+        // organization. (16 groups: even the dominance-collapsed tree
+        // has ~2^15 surviving prefixes, far beyond a 3-node budget.)
+        let spec = plateau_off_chip_spec(16);
         let s = scbd::distribute(&spec).unwrap();
         let run = |workers: usize| {
             assign(
@@ -2995,7 +3338,7 @@ mod tests {
             matches!(
                 serial,
                 Err(ExploreError::TooManyOffChipGroups {
-                    count: 10,
+                    count: 16,
                     node_limit: 3
                 })
             ),
@@ -3008,6 +3351,243 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    #[test]
+    fn dominance_preserves_the_exhaustive_optimum_on_a_plateau() {
+        // The dominance rule prunes only symmetric *duplicates*: on a
+        // plateau of 8 bitwise-identical groups the search must still
+        // return the exhaustive scan's canonical-first optimum — same
+        // blocks, same order, same bits — while actually cutting nodes.
+        let spec = plateau_off_chip_spec(8);
+        let s = scbd::distribute(&spec).unwrap();
+        let (reference, ref_partitions) = off_chip_exhaustive_reference(&spec, &s, &lib()).unwrap();
+        for workers in [1usize, 2, 8] {
+            let (org, stats) = assign_with_stats(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    workers,
+                    ..AllocOptions::default()
+                },
+            )
+            .unwrap();
+            let off: Vec<&MemoryInstance> = org
+                .memories
+                .iter()
+                .filter(|m| matches!(m.kind, MemoryKind::OffChip(_)))
+                .collect();
+            assert_eq!(off.len(), reference.len(), "workers={workers}");
+            for (got, want) in off.iter().zip(&reference) {
+                assert_eq!(*got, want, "workers={workers}");
+            }
+            assert!(
+                stats.off_chip_dominance_cuts > 0,
+                "workers={workers}: symmetric plateau produced no cuts: {stats:?}"
+            );
+            assert!(
+                stats.bound_incremental_updates > 0,
+                "workers={workers}: {stats:?}"
+            );
+            assert!(
+                stats.off_chip_partitions < ref_partitions,
+                "workers={workers}: dominance left the full Bell tree: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dominance_collapses_the_sixteen_group_tie_plateau() {
+        // The ROADMAP acceptance fixture: 16 mutually compatible
+        // symmetric groups. Without dominance every one of the ~10^10
+        // partitions prices identically, so the bound prunes nothing and
+        // any practical budget exhausts. With the rule (the default) the
+        // surviving tree is 2^16 - 1 nodes and the *default* budget
+        // proves the optimum, identically for every worker count.
+        let spec = plateau_off_chip_spec(16);
+        let s = scbd::distribute(&spec).unwrap();
+        let run = |workers: usize| {
+            assign_with_stats(
+                &spec,
+                &s,
+                &lib(),
+                &AllocOptions {
+                    workers,
+                    ..AllocOptions::default()
+                },
+            )
+            .expect("dominance must collapse the plateau within the default budget")
+        };
+        let (serial, stats) = run(1);
+        assert_eq!(
+            serial
+                .memories
+                .iter()
+                .map(|m| m.groups.len())
+                .sum::<usize>(),
+            16
+        );
+        assert!(stats.off_chip_dominance_cuts > 0, "{stats:?}");
+        assert!(
+            stats.off_chip_bb_nodes < 200_000,
+            "collapsed tree should be tiny: {stats:?}"
+        );
+        for workers in [2usize, 8] {
+            let (parallel, _) = run(workers);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+        // Disabling the rule restores the plateau: the same instance
+        // exhausts even a budget comfortably above the dominance run's
+        // entire node count.
+        let err = assign(
+            &spec,
+            &s,
+            &lib(),
+            &AllocOptions {
+                off_chip_dominance: false,
+                node_limit: 200_000,
+                ..AllocOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, ExploreError::TooManyOffChipGroups { count: 16, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn incremental_sums_match_fresh_folds_across_budgets_and_workers() {
+        // Differential property test for the incremental bound state:
+        // `debug_assert!`s inside both solvers compare the maintained
+        // running committed sum (off-chip) and the maintained open-count
+        // (on-chip) against a from-scratch recomputation at *every
+        // visited node* — this test's job is to drive those assertions
+        // across the workers x node-limit matrix, accepting either a
+        // proven result or the deterministic exhaustion signal, and to
+        // pin bit-identical results across worker counts at every
+        // budget.
+        let specs = [
+            off_heavy_spec(),
+            plateau_off_chip_spec(6),
+            many_group_spec(),
+        ];
+        for (si, spec) in specs.iter().enumerate() {
+            let s = scbd::distribute(spec).unwrap();
+            for node_limit in [1u64, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 600] {
+                let run = |workers: usize| {
+                    assign(
+                        spec,
+                        &s,
+                        &lib(),
+                        &AllocOptions {
+                            node_limit,
+                            workers,
+                            ..AllocOptions::default()
+                        },
+                    )
+                };
+                let serial = run(1);
+                match &serial {
+                    Ok(org) => assert!(org.on_chip_count() + org.off_chip_count() >= 1),
+                    Err(ExploreError::TooManyOffChipGroups { .. }) => {}
+                    Err(e) => panic!("spec {si} limit {node_limit}: unexpected error {e}"),
+                }
+                for workers in [2usize, 8] {
+                    assert_eq!(
+                        serial,
+                        run(workers),
+                        "spec {si} limit {node_limit} workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonpositive_real_time_window_is_rejected_before_the_search() {
+        // A zero or negative real-time window would turn every power
+        // floor into NaN/∞ and silently defeat bound pruning; the search
+        // must reject the instance up front with a typed error.
+        for time_s in [0.0f64, -1.0] {
+            let mut b = AppSpecBuilder::new("t");
+            let g = b
+                .basic_group_placed("f", 2048, 8, Placement::OffChip)
+                .unwrap();
+            let n = b.loop_nest("l", 10).unwrap();
+            b.access(n, g, AccessKind::Read).unwrap();
+            b.cycle_budget(100_000).real_time_seconds(time_s);
+            let spec = b.build().unwrap();
+            let s = scbd::distribute(&spec).unwrap();
+            let err = assign(&spec, &s, &lib(), &AllocOptions::default()).unwrap_err();
+            assert_eq!(err, ExploreError::BadOffChipPricing { time_s });
+            assert!(err.to_string().contains("real-time window"), "{err}");
+        }
+    }
+
+    #[test]
+    fn worker_priced_masks_are_persisted_in_the_block_catalog() {
+        // A parallel run prices many masks inside *worker* pricer
+        // clones; `OffChipFan::merge_state` must fold those memos back
+        // before `store_off_chip_blocks`, so a cold parallel run
+        // persists the same full catalog as a cold serial run (and a
+        // warm run re-seeds all of it). Dominance is disabled so the
+        // plateau fans real pricing work into the worker subtrees.
+        let spec = plateau_off_chip_spec(8);
+        let s = scbd::distribute(&spec).unwrap();
+        let options = |workers: usize| AllocOptions {
+            workers,
+            off_chip_dominance: false,
+            ..AllocOptions::default()
+        };
+        let blocks_key = || {
+            let traffic = group_traffic(&spec);
+            let oracle = PortOracle::new(&spec, &s);
+            let (groups, _) = split_accessed_groups(&spec, &traffic).unwrap();
+            let instance = off_chip_blocks_fingerprint(
+                &spec,
+                &traffic,
+                &oracle,
+                &groups,
+                spec.real_time_seconds(),
+            );
+            cache::CacheKey::off_chip_blocks(instance, &lib())
+        };
+        let tmp =
+            std::env::temp_dir().join(format!("memx-worker-catalog-merge-{}", std::process::id()));
+        let cold_catalog = |label: &str, workers: usize| {
+            let dir = tmp.join(label);
+            let cache = EvalCache::open(&dir).unwrap();
+            let (org, _) =
+                assign_with_stats_cached(&spec, &s, &lib(), &options(workers), Some(&cache))
+                    .unwrap();
+            assert!(org.off_chip_count() >= 1);
+            assert_eq!(cache.stats().blocks_misses, 1, "{label} run must be cold");
+            cache
+                .load_off_chip_blocks(&blocks_key())
+                .expect("cold run stores the catalog")
+        };
+        let serial = cold_catalog("serial", 1);
+        let parallel = cold_catalog("parallel", 8);
+        assert!(serial.len() > 1, "plateau must price several masks");
+        assert_eq!(
+            serial, parallel,
+            "worker-discovered masks must be merged back before the store"
+        );
+        // Warm re-run against the parallel store, under a different
+        // (keyed) node budget so the *allocation* entry misses and the
+        // solver actually runs: the catalog is served from disk and
+        // nothing is re-stored.
+        let cache = EvalCache::open(tmp.join("parallel")).unwrap();
+        let warm = AllocOptions {
+            node_limit: AllocOptions::default().node_limit + 1,
+            ..options(8)
+        };
+        assign_with_stats_cached(&spec, &s, &lib(), &warm, Some(&cache)).unwrap();
+        assert_eq!(cache.stats().blocks_hits, 1);
+        assert_eq!(cache.stats().blocks_misses, 0);
+        std::fs::remove_dir_all(&tmp).ok();
     }
 
     #[test]

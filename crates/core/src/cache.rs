@@ -151,7 +151,10 @@ const SCBD_ALGO_REVISION: u64 = 1;
 /// pruning improvement that leaves results identical but changes node
 /// counts also warrants a bump, or warm `[alloc nodes: N]` lines keep
 /// reporting the retired heuristic's effort.
-const ALLOC_ALGO_REVISION: u64 = 1;
+///
+/// Revision 2: symmetric-group dominance + incremental bounds (results
+/// bit-identical, node counts and stats layout changed).
+const ALLOC_ALGO_REVISION: u64 = 2;
 /// Revision of the off-chip block pricer. Folded into the knobs
 /// fingerprint of [`KIND_OFF_CHIP_BLOCKS`] entries; bump on any change
 /// to how a group subset is priced (port gating, device ganging,
@@ -277,6 +280,10 @@ impl CacheKey {
         knobs.write_f64(options.area_weight);
         knobs.write_f64(options.power_weight);
         knobs.write_u64(u64::from(options.max_on_chip_ports));
+        // Dominance never changes the organization, but replayed stats
+        // (node counts, dominance cuts) differ — key it so a baseline
+        // run with dominance off is never served a with-dominance entry.
+        knobs.write_u64(u64::from(options.off_chip_dominance));
         CacheKey {
             content_hash: instance,
             budget: options.node_limit,
@@ -796,6 +803,8 @@ fn encode_alloc(org: &Organization, stats: &AllocStats) -> Vec<u8> {
     push_u64(&mut out, stats.off_chip_bb_nodes);
     push_u64(&mut out, stats.off_chip_pruned_subtrees);
     push_u64(&mut out, stats.off_chip_exhaustive_partitions);
+    push_u64(&mut out, stats.off_chip_dominance_cuts);
+    push_u64(&mut out, stats.bound_incremental_updates);
     out
 }
 
@@ -866,6 +875,8 @@ fn decode_alloc(payload: &[u8]) -> Option<(Organization, AllocStats)> {
         off_chip_bb_nodes: r.u64()?,
         off_chip_pruned_subtrees: r.u64()?,
         off_chip_exhaustive_partitions: r.u64()?,
+        off_chip_dominance_cuts: r.u64()?,
+        bound_incremental_updates: r.u64()?,
     };
     if !r.at_end() {
         return None;
@@ -1391,6 +1402,19 @@ mod tests {
         );
         assert_ne!(key.knobs_fingerprint, other_bound.knobs_fingerprint);
         assert!(cache.load_alloc(&other_bound).is_none());
+        // …as is toggling the dominance rule (replayed node counts and
+        // dominance-cut stats differ even though the organization is
+        // identical)…
+        let no_dominance = CacheKey::alloc(
+            7,
+            &lib,
+            &AllocOptions {
+                off_chip_dominance: false,
+                ..options.clone()
+            },
+        );
+        assert_ne!(key.knobs_fingerprint, no_dominance.knobs_fingerprint);
+        assert!(cache.load_alloc(&no_dominance).is_none());
         // …and a different node limit a different budget slot.
         let other_limit = CacheKey::alloc(
             7,

@@ -51,6 +51,16 @@ pub enum ExploreError {
         /// The branch-and-bound node budget that was exhausted.
         node_limit: u64,
     },
+    /// The off-chip pricing inputs cannot produce finite power figures:
+    /// the specification's real-time window is zero, negative or
+    /// non-finite (power divides energy by it), or some off-chip
+    /// group's weighted traffic is non-finite. A NaN/∞ power floor
+    /// would silently disable bound pruning instead of failing loudly,
+    /// so the instance is rejected before the search starts.
+    BadOffChipPricing {
+        /// The specification's real-time window in seconds.
+        time_s: f64,
+    },
     /// Cost weights handed to a ranking or assignment API were not
     /// finite non-negative numbers; comparing scalarized costs built
     /// from them would be meaningless (and used to panic).
@@ -87,6 +97,12 @@ impl fmt::Display for ExploreError {
                  an optimum within its {node_limit}-node budget, split evenly \
                  over deterministic search subtrees \
                  (raise AllocOptions::node_limit / MEMX_NODE_LIMIT)"
+            ),
+            ExploreError::BadOffChipPricing { time_s } => write!(
+                f,
+                "off-chip pricing needs a positive finite real-time window and \
+                 finite group traffic (real_time_seconds = {time_s}); a \
+                 non-finite power floor would silently disable bound pruning"
             ),
             ExploreError::BadCostWeights {
                 area_weight,
@@ -143,6 +159,9 @@ mod tests {
         assert!(e.to_string().contains("20 groups"));
         assert!(e.to_string().contains("1000-node budget"));
         assert!(e.to_string().contains("MEMX_NODE_LIMIT"));
+        let e = ExploreError::BadOffChipPricing { time_s: 0.0 };
+        assert!(e.to_string().contains("real_time_seconds = 0"));
+        assert!(e.to_string().contains("positive finite"));
         let e = ExploreError::from(BuildSpecError::MissingCycleBudget);
         assert!(e.source().is_some());
     }

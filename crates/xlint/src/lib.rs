@@ -20,6 +20,7 @@
 //! | `no-unordered-iter` | `HashMap`/`HashSet` are banned everywhere golden stdout could observe their iteration order (the whole workspace, after the BTreeMap conversion) |
 //! | `no-ambient-state` | `Instant::now`/`SystemTime`/`env::var` only in the bench-facing experiment module |
 //! | `revision-guard` | fingerprinted modules carry a `// memx-lint: fingerprinted(<CONST>)` marker and the named const/fn exists in and is referenced by `core::cache` |
+//! | `err-impl-error` | every `pub` type named `*Error` has an `impl std::error::Error for` it in the declaring file (callers must be able to `?`-chain and `source()`-walk any public failure) |
 //!
 //! # Suppressions
 //!
@@ -37,7 +38,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-/// The five workspace lints.
+/// The six workspace lints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Lint {
     /// Panicking constructs in non-test solver code.
@@ -50,16 +51,19 @@ pub enum Lint {
     NoAmbientState,
     /// Missing or dangling cache-fingerprint markers.
     RevisionGuard,
+    /// `pub` error types without a `std::error::Error` impl.
+    ErrImplError,
 }
 
 impl Lint {
     /// Every lint, in reporting order.
-    pub const ALL: [Lint; 5] = [
+    pub const ALL: [Lint; 6] = [
         Lint::NoPanicPaths,
         Lint::AtomicsConfined,
         Lint::NoUnorderedIter,
         Lint::NoAmbientState,
         Lint::RevisionGuard,
+        Lint::ErrImplError,
     ];
 
     /// The kebab-case name used in diagnostics and `allow(...)`.
@@ -70,6 +74,7 @@ impl Lint {
             Lint::NoUnorderedIter => "no-unordered-iter",
             Lint::NoAmbientState => "no-ambient-state",
             Lint::RevisionGuard => "revision-guard",
+            Lint::ErrImplError => "err-impl-error",
         }
     }
 
@@ -529,6 +534,18 @@ fn token_col(line: &str, tok: &str) -> Option<usize> {
     None
 }
 
+/// The identifier starting at or after `col` (leading whitespace
+/// skipped), when the next non-space characters form one.
+fn ident_after(line: &str, col: usize) -> Option<&str> {
+    let rest = line.get(col..)?.trim_start();
+    let end = rest.find(|c: char| !is_ident_char(c)).unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
 /// True when `line` calls `.name(` (a method, not `name_or`-style
 /// variants — the `(` must directly follow).
 fn calls_method(line: &str, name: &str) -> bool {
@@ -670,6 +687,53 @@ pub fn lint_file(path: &str, source: &str, cfg: &Config) -> FileReport {
                     }
                 }
             }
+        }
+    }
+
+    // err-impl-error is a two-pass rule: collect every `pub ... Error`
+    // type declaration and every `impl ... Error for <Name>` line, then
+    // flag the declarations left unmatched. Same-file matching is
+    // deliberate — the workspace convention keeps an error type's
+    // `std::error::Error` impl next to its definition.
+    let mut error_decls: Vec<(usize, String)> = Vec::new();
+    let mut error_impls: BTreeSet<String> = BTreeSet::new();
+    for (idx, line) in stripped.code.iter().enumerate() {
+        for kw in ["enum", "struct"] {
+            if let Some(col) = token_col(line, kw) {
+                // Plain `pub` only: `pub(crate)` types are not public
+                // API, so their error ergonomics are a local concern.
+                let public = token_col(line, "pub")
+                    .is_some_and(|p| p < col && line[p + 3..].starts_with(char::is_whitespace));
+                if public {
+                    if let Some(name) = ident_after(line, col + kw.len()) {
+                        if name.ends_with("Error") {
+                            error_decls.push((idx, name.to_string()));
+                        }
+                    }
+                }
+            }
+        }
+        if has_token(line, "impl") {
+            if let Some(col) = token_col(line, "for") {
+                // `impl Error for X` / `impl std::error::Error for X`,
+                // but not `impl Display for X` or `impl From<XError>`.
+                if line[..col].trim_end().ends_with("Error") {
+                    if let Some(name) = ident_after(line, col + "for".len()) {
+                        error_impls.insert(name.to_string());
+                    }
+                }
+            }
+        }
+    }
+    for (idx, name) in error_decls {
+        if !error_impls.contains(&name) {
+            push(
+                Lint::ErrImplError,
+                idx,
+                format!(
+                    "`pub` error type `{name}` has no `impl std::error::Error` in this file; callers cannot `?`-chain or `source()`-walk it"
+                ),
+            );
         }
     }
 

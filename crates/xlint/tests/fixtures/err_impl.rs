@@ -1,0 +1,74 @@
+//! Fixture for the err-impl-error lint: public error types with and
+//! without a same-file `std::error::Error` impl.
+
+use std::fmt;
+
+/// Caught: public, named `*Error`, no `Error` impl anywhere below.
+pub enum NakedError {
+    Broken,
+}
+
+/// Clean: the impl follows in this file.
+pub struct CoveredError {
+    pub detail: String,
+}
+
+/// Clean: struct form, fully-qualified impl path.
+pub enum QualifiedError {
+    Oops,
+}
+
+/// Clean: not public, so not part of the crate's API surface.
+enum PrivateError {
+    Hidden,
+}
+
+/// Clean: `pub(crate)` is not plain `pub`.
+pub(crate) struct ScopedError {
+    pub code: u32,
+}
+
+/// Not an error type at all, despite living next to them.
+pub struct ErrorReport {
+    pub lines: usize,
+}
+
+// memx-lint: allow(err-impl-error) — fixture exercising suppression.
+pub enum WaivedError {
+    Tolerated,
+}
+
+impl fmt::Display for CoveredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.detail)
+    }
+}
+
+impl fmt::Debug for CoveredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.detail)
+    }
+}
+
+impl std::error::Error for CoveredError {}
+
+impl fmt::Display for QualifiedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("oops")
+    }
+}
+
+impl fmt::Debug for QualifiedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("oops")
+    }
+}
+
+impl std::error::Error for QualifiedError {}
+
+/// A `From` impl mentioning an error type must not count as coverage.
+impl From<NakedError> for u32 {
+    fn from(_: NakedError) -> u32 {
+        0
+    }
+}

@@ -11,6 +11,7 @@ const ATOMICS_FIXTURE: &str = include_str!("fixtures/atomics.rs");
 const UNORDERED_FIXTURE: &str = include_str!("fixtures/unordered_iter.rs");
 const AMBIENT_FIXTURE: &str = include_str!("fixtures/ambient_state.rs");
 const SUPPRESSED_FIXTURE: &str = include_str!("fixtures/suppressed_ok.rs");
+const ERR_IMPL_FIXTURE: &str = include_str!("fixtures/err_impl.rs");
 
 fn names(report: &xlint::FileReport) -> Vec<&'static str> {
     report.findings.iter().map(|f| f.lint).collect()
@@ -95,6 +96,47 @@ fn ambient_state_fixture_is_caught_outside_bench_modules() {
         "experiments module is allowlisted: {:?}",
         bench.findings
     );
+}
+
+#[test]
+fn err_impl_fixture_flags_only_the_uncovered_public_type() {
+    let cfg = Config::workspace();
+    let report = lint_file("crates/core/src/fake.rs", ERR_IMPL_FIXTURE, &cfg);
+    let hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == Lint::ErrImplError.name())
+        .collect();
+    // NakedError alone: CoveredError and QualifiedError carry impls,
+    // PrivateError / ScopedError are not plain `pub`, ErrorReport does
+    // not end in `Error`, WaivedError is suppressed, and the
+    // `From<NakedError>` impl must not count as coverage.
+    assert_eq!(hits.len(), 1, "findings: {:?}", report.findings);
+    assert!(hits[0].message.contains("NakedError"), "{}", hits[0]);
+    assert!(
+        report
+            .suppressed
+            .iter()
+            .any(|f| f.lint == Lint::ErrImplError.name() && f.message.contains("WaivedError")),
+        "suppressed: {:?}",
+        report.suppressed
+    );
+}
+
+#[test]
+fn err_impl_accepts_an_unqualified_error_impl() {
+    let src = "\
+use std::error::Error;\n\
+pub enum LocalError { Case }\n\
+impl std::fmt::Display for LocalError {\n\
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { f.write_str(\"x\") }\n\
+}\n\
+impl std::fmt::Debug for LocalError {\n\
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { f.write_str(\"x\") }\n\
+}\n\
+impl Error for LocalError {}\n";
+    let report = lint_file("crates/core/src/fake.rs", src, &Config::workspace());
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
 }
 
 #[test]

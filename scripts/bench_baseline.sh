@@ -31,6 +31,14 @@
 # table3 pair also records the *allocation*-cache block (alloc_cache),
 # gated identically — a warm run must short-circuit every phase-2
 # branch-and-bound from the cache, not just every schedule.
+#
+# The v6 schema adds the symmetric-group dominance block: the table4
+# sweep's dominance-cut counter, plus the plateau_dominance binary's
+# off-chip node count with and without the rule (MEMX_DOMINANCE on/off,
+# pinned serial). The instance is a pure tie plateau, so the lower
+# bound alone prunes nothing there and the with/without ratio isolates
+# the dominance rule's contribution. scripts/bench_regression.sh gates
+# nodes-with < nodes-without self-contained.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -130,14 +138,29 @@ nodes_solo=$(stat_line "$stderr_solo" "alloc nodes")
 nodes_pairwise=$(stat_line "$stderr_pairwise" "alloc nodes")
 off_nodes=$(stat_line "$stderr_pairwise" "off-chip nodes")
 off_exhaustive=$(stat_line "$stderr_pairwise" "off-chip exhaustive")
+table4_cuts=$(stat_line "$stderr_pairwise" "off-chip dominance cuts")
 printf 'bench: table4 nodes visited (exact search): solo %s / pairwise %s\n' \
     "$nodes_solo" "$nodes_pairwise"
 printf 'bench: table4 off-chip nodes %s vs exhaustive partitions %s\n' \
     "$off_nodes" "$off_exhaustive"
+printf 'bench: table4 off-chip dominance cuts %s\n' "$table4_cuts"
+
+# Tie-plateau dominance counters: the plateau_dominance binary, pinned
+# serial, with the rule on (default) and off. Same stdout either way —
+# only the search-effort counters move.
+stderr_plateau_on=$(env MEMX_WORKERS=1 \
+    ./target/release/plateau_dominance 2>&1 >/dev/null)
+stderr_plateau_off=$(env MEMX_DOMINANCE=0 MEMX_WORKERS=1 \
+    ./target/release/plateau_dominance 2>&1 >/dev/null)
+plateau_nodes_with=$(stat_line "$stderr_plateau_on" "off-chip nodes")
+plateau_nodes_without=$(stat_line "$stderr_plateau_off" "off-chip nodes")
+plateau_cuts=$(stat_line "$stderr_plateau_on" "off-chip dominance cuts")
+printf 'bench: plateau off-chip nodes with dominance %s / without %s (cuts %s)\n' \
+    "$plateau_nodes_with" "$plateau_nodes_without" "$plateau_cuts"
 
 cat > "$OUT" << EOF
 {
-  "schema": "memexplore-bench-v5",
+  "schema": "memexplore-bench-v6",
   "generated_unix": $(date +%s),
   "smoke": $smoke,
   "cores": $cores,
@@ -157,6 +180,12 @@ ${entries%,$'\n'}
   "table4_off_chip": {
     "bb_nodes": $off_nodes,
     "exhaustive_partitions": $off_exhaustive
+  },
+  "dominance": {
+    "table4_dominance_cuts": $table4_cuts,
+    "plateau_nodes_with": $plateau_nodes_with,
+    "plateau_nodes_without": $plateau_nodes_without,
+    "plateau_cuts": $plateau_cuts
   },
   "scbd_cache": {
     "cold_misses": $cold_misses,

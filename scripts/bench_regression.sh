@@ -15,6 +15,10 @@
 #     (the search must prune, not enumerate) — also self-contained;
 #   * NEW's off-chip node count exceeds 1.5x PREV's (pruning regressed
 #     against the cached baseline);
+#   * NEW's tie-plateau node count with the symmetric-group dominance
+#     rule is not strictly below the count without it (the rule must
+#     actually collapse the plateau; the instance is a pure tie, so the
+#     bound alone cannot account for the cut) — self-contained;
 #   * NEW's scbd_cache block reports zero warm hits or nonzero warm
 #     misses (the persistent cache stopped serving, or a warm cache is
 #     incomplete for an unchanged binary) — self-contained, no PREV
@@ -26,10 +30,10 @@
 # A missing PREV (first run, expired CI cache) skips the wall-clock
 # comparison with a note instead of failing, so the gate bootstraps
 # itself. A PREV from an older schema (no table4_off_chip block, a
-# v3 artifact without the scbd_cache block, or a v4 artifact without
-# the alloc_cache block) skips only the affected vs-baseline
-# comparison, again with a note — older artifacts must never turn the
-# gate red.
+# v3 artifact without the scbd_cache block, a v4 artifact without
+# the alloc_cache block, or a v5 artifact without the dominance block)
+# skips only the affected vs-baseline comparison, again with a note —
+# older artifacts must never turn the gate red.
 set -euo pipefail
 
 prev=${1:?usage: bench_regression.sh PREV.json NEW.json}
@@ -100,6 +104,28 @@ if [ -n "$off_nodes" ] && [ -n "$off_exhaustive" ]; then
 else
     echo "bench-regression: FAIL $new lacks table4_off_chip counters" >&2
     fail=1
+fi
+
+# --- Dominance node-cut invariant (self-contained). -------------------
+plateau_with=$(block_field "$new" dominance plateau_nodes_with)
+plateau_without=$(block_field "$new" dominance plateau_nodes_without)
+if [ -n "$plateau_with" ] && [ -n "$plateau_without" ]; then
+    # awk: the no-dominance count can outgrow bash's integer range on
+    # huge plateau instances.
+    verdict=$(awk -v w="$plateau_with" -v wo="$plateau_without" \
+        'BEGIN { print (w + 0 < wo + 0) ? "ok" : "inverted" }')
+    if [ "$verdict" = "inverted" ]; then
+        echo "bench-regression: FAIL plateau nodes with dominance $plateau_with >= without $plateau_without" >&2
+        fail=1
+    else
+        echo "bench-regression: dominance cut ok (plateau nodes $plateau_with with < $plateau_without without)"
+    fi
+else
+    echo "bench-regression: FAIL $new lacks dominance counters" >&2
+    fail=1
+fi
+if [ -f "$prev" ] && [ -z "$(block_field "$prev" dominance plateau_nodes_with)" ]; then
+    echo "bench-regression: previous artifact predates the dominance block (v5 schema); dominance gate is self-contained, nothing skipped"
 fi
 
 # --- Persistent-cache invariants (self-contained), per entry kind. ----

@@ -13,4 +13,5 @@ BINARIES=(
     codec_rd_sweep
     auto_hierarchy
     ablation_balancing
+    plateau_dominance
 )
