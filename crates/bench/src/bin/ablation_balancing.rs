@@ -14,7 +14,7 @@ use memx_core::scbd;
 use memx_core::scbd::BodySchedule;
 
 fn main() {
-    let ctx = experiments::context();
+    let ctx = experiments::context(experiments::RunKnobs::from_env());
     let spec = experiments::best_hierarchy_spec(&ctx).expect("transforms valid");
     let budget = experiments::CYCLE_BUDGET;
 

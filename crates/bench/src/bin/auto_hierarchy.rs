@@ -11,7 +11,7 @@ use memx_core::explore::evaluate_with_cache;
 use memx_core::reuse;
 
 fn main() {
-    let ctx = experiments::context();
+    let ctx = experiments::context(experiments::RunKnobs::from_env());
     let (merged, pixel_store) = experiments::merged_spec(&ctx).expect("merge valid");
 
     println!("Data-reuse analysis of the merged BTPC spec:");

@@ -9,12 +9,13 @@ use memx_core::engine::parallel_map;
 use memx_profile::ProfileRegistry;
 
 fn main() {
-    let workers = match experiments::env_workers() {
+    let knobs = experiments::RunKnobs::from_env();
+    let workers = match knobs.workers {
         0 => memx_core::engine::auto_workers(),
         n => n,
     };
     eprintln!("[codec sweep: {workers} worker(s); rows are worker-count independent]");
-    let edge = if experiments::smoke_mode() { 64 } else { 256 };
+    let edge = if knobs.smoke { 64 } else { 256 };
     let img = Image::synthetic_natural(edge, edge, experiments::SEED);
 
     println!("BTPC rate-distortion sweep ({edge}x{edge} synthetic natural image)");
@@ -25,7 +26,7 @@ fn main() {
     // The sweep points are independent: fan them over the worker pool
     // and print the rows in order afterwards.
     let steps = [1u16, 2, 4, 8, 16, 32];
-    let rows = parallel_map(&steps, experiments::env_workers(), |_, &q| {
+    let rows = parallel_map(&steps, knobs.workers, |_, &q| {
         let cfg = if q == 1 {
             CodecConfig::lossless()
         } else {

@@ -11,7 +11,7 @@ use memx_core::hierarchy::apply_hierarchy;
 use memx_core::structuring::{compact, merge};
 
 fn main() {
-    let ctx = experiments::context();
+    let ctx = experiments::context(experiments::RunKnobs::from_env());
     println!("Figure 1: stepwise refinement methodology (explored tree)");
     println!(
         "Pruned System Specification: {} basic groups, {} loop nests",

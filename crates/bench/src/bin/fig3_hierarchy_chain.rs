@@ -6,7 +6,7 @@ use memx_bench::experiments;
 use memx_core::hierarchy::apply_hierarchy;
 
 fn main() {
-    let ctx = experiments::context();
+    let ctx = experiments::context(experiments::RunKnobs::from_env());
     let (spec, pixel_store) = experiments::merged_spec(&ctx).expect("merge is valid");
     let (ylocal, _, yhier_feeding) = experiments::figure3_layers();
     let chain =

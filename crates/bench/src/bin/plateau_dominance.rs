@@ -17,6 +17,7 @@ use memx_core::alloc::{assign_with_stats_cached, AllocOptions, MemoryKind};
 use memx_core::scbd;
 
 fn main() {
+    let knobs = experiments::RunKnobs::from_env();
     let spec = experiments::plateau_spec(experiments::PLATEAU_GROUPS);
     let schedule = match scbd::distribute(&spec) {
         Ok(s) => s,
@@ -27,14 +28,15 @@ fn main() {
     };
     let lib = memx_memlib::MemLibrary::default_07um();
     let options = AllocOptions {
-        workers: experiments::env_workers(),
-        node_limit: experiments::env_node_limit()
+        workers: knobs.workers,
+        node_limit: knobs
+            .node_limit
             .unwrap_or_else(|| AllocOptions::default().node_limit),
-        bound: experiments::env_bound(),
-        off_chip_dominance: experiments::env_dominance(),
+        bound: knobs.bound,
+        off_chip_dominance: knobs.dominance,
         ..AllocOptions::default()
     };
-    let cache = experiments::env_cache();
+    let cache = knobs.cache;
     let result = assign_with_stats_cached(&spec, &schedule, &lib, &options, cache.as_deref());
     let (org, stats) = match result {
         Ok(r) => r,

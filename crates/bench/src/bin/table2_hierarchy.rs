@@ -4,7 +4,7 @@
 use memx_bench::experiments;
 
 fn main() {
-    let ctx = experiments::context();
+    let ctx = experiments::context(experiments::RunKnobs::from_env());
     match experiments::table2(&ctx) {
         Ok(exp) => print!(
             "{}",

@@ -8,7 +8,7 @@
 use memx_bench::experiments;
 
 fn main() {
-    let ctx = experiments::context();
+    let ctx = experiments::context(experiments::RunKnobs::from_env());
     eprintln!(
         "[engine: {} worker(s); results are worker-count independent]",
         ctx.engine().workers()

@@ -46,99 +46,106 @@ pub const SMOKE_PROFILE_FRAME: usize = 64;
 /// incumbent, so results stay well-formed, just not proven optimal).
 pub const SMOKE_NODE_LIMIT: u64 = 200_000;
 
-/// True when the fast smoke-test mode is on: the `MEMX_SMOKE`
-/// environment variable is set to anything non-empty but `0`, or the
-/// binary was invoked with a `--smoke` argument. Every table/figure
-/// binary honors it through [`context`], trading profile resolution and
-/// allocation search effort for a runtime of seconds — CI uses it to
-/// keep the paper-reproduction binaries from rotting. Library entry
-/// points ([`paper_context`] and everything built on it) never read this
-/// ambient state, so tests and benches stay deterministic regardless of
-/// the caller's environment.
-pub fn smoke_mode() -> bool {
-    std::env::var_os("MEMX_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
-        || std::env::args().any(|a| a == "--smoke")
+/// Every ambient knob the reproduction *binaries* accept, resolved
+/// **once** at binary entry by [`RunKnobs::from_env`] and passed by
+/// value from there on — the single place where the environment is
+/// read. Library entry points ([`paper_context`] and everything built
+/// on it) never construct one from the environment, so tests and
+/// benches stay deterministic regardless of the caller's shell — and
+/// the `memx-serve` daemon derives every option from the request body,
+/// never from ambient state.
+///
+/// Exploration results are bit-identical across `workers`, `cache`,
+/// `dominance` and `bound` settings (each knob only trades wall-clock
+/// or search-effort counters, which is what `scripts/bench_baseline.sh`
+/// measures); `smoke` and `node_limit` trade fidelity for runtime.
+#[derive(Debug, Clone)]
+pub struct RunKnobs {
+    /// Fast smoke-test mode (`MEMX_SMOKE` non-empty and not `0`, or a
+    /// `--smoke` argument): the cheap profile and reduced allocation
+    /// search budget — CI uses it to keep the paper-reproduction
+    /// binaries from rotting.
+    pub smoke: bool,
+    /// Worker-pool size (`MEMX_WORKERS`; `0` or unset = one worker per
+    /// core, `1` = fully serial).
+    pub workers: usize,
+    /// Branch-and-bound node-budget override (`MEMX_NODE_LIMIT`). It
+    /// budgets both the on-chip searches (which degrade to their greedy
+    /// incumbent on exhaustion) and the off-chip partition search
+    /// (which instead raises the deterministic `TooManyOffChipGroups`
+    /// exhaustion signal). `scripts/bench_baseline.sh` raises it when
+    /// comparing the two lower bounds: node counts only measure pruning
+    /// when the search runs to exactness.
+    pub node_limit: Option<u64>,
+    /// Persistent evaluation cache (`MEMX_CACHE_DIR` names a directory
+    /// carried across runs; unset or empty = no cache). An unusable
+    /// directory prints a warning and degrades to uncached evaluation
+    /// rather than failing the run.
+    pub cache: Option<Arc<EvalCache>>,
+    /// Off-chip symmetric-group dominance rule (`MEMX_DOMINANCE=0`
+    /// disables it). The rule only removes symmetric duplicates, so the
+    /// returned organization is identical either way; only the node and
+    /// cut counters differ.
+    pub dominance: bool,
+    /// Branch-and-bound lower bound (`MEMX_BOUND=solo` falls back to
+    /// the original solo-1-port suffix bound). Both bounds are
+    /// admissible, so with an unexhausted budget the results are
+    /// identical; only the nodes-visited counters differ.
+    pub bound: memx_core::alloc::BoundKind,
 }
 
-/// Worker-count override for the reproduction *binaries*: the
-/// `MEMX_WORKERS` environment variable (`0` or unset = one worker per
-/// core, `1` = fully serial). Exploration results are bit-identical for
-/// every setting — the knob only trades wall-clock, which is what
-/// `scripts/bench_baseline.sh` measures. Library entry points never
-/// read it; [`paper_context`] always resolves to "one per core".
-pub fn env_workers() -> usize {
-    std::env::var("MEMX_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0)
-}
-
-/// Branch-and-bound node-limit override for the reproduction
-/// *binaries* (`MEMX_NODE_LIMIT`). It budgets both the on-chip searches
-/// (which degrade to their greedy incumbent on exhaustion) and the
-/// off-chip partition search (which instead raises the deterministic
-/// `TooManyOffChipGroups` exhaustion signal — raise the limit to prove
-/// optima on very large off-chip instances). `scripts/bench_baseline.sh`
-/// raises it when comparing the two lower bounds: with an exhausted
-/// budget the per-subtree budgets just get reallocated and node counts
-/// measure nothing, so the pruning comparison must run the search to
-/// exactness. Library entry points never read it.
-pub fn env_node_limit() -> Option<u64> {
-    std::env::var("MEMX_NODE_LIMIT")
-        .ok()
-        .and_then(|v| v.parse().ok())
-}
-
-/// Persistent evaluation cache for the reproduction *binaries*: the
-/// `MEMX_CACHE_DIR` environment variable names a directory carried
-/// across runs (unset or empty = no cache, the default). Schedules are
-/// then served from / published to disk (see `memx_core::cache`);
-/// results are bit-identical either way, which
-/// `scripts/cache_roundtrip.sh` and the determinism matrix enforce
-/// end-to-end. An unusable directory prints a warning and degrades to
-/// uncached evaluation rather than failing the run. Library entry
-/// points never read this ambient state; [`paper_context`] is always
-/// uncached.
-pub fn env_cache() -> Option<Arc<EvalCache>> {
-    let dir = std::env::var_os("MEMX_CACHE_DIR")?;
-    if dir.is_empty() {
-        return None;
-    }
-    match EvalCache::open(&dir) {
-        Ok(cache) => Some(Arc::new(cache)),
-        Err(e) => {
-            eprintln!("[eval cache disabled: {e}]");
-            None
+impl Default for RunKnobs {
+    /// The knobs every library entry point is equivalent to: full
+    /// fidelity, auto workers, default node budget, no cache, dominance
+    /// on, pairwise bound.
+    fn default() -> Self {
+        RunKnobs {
+            smoke: false,
+            workers: 0,
+            node_limit: None,
+            cache: None,
+            dominance: true,
+            bound: memx_core::alloc::BoundKind::default(),
         }
     }
 }
 
-/// Symmetric-group dominance override for the reproduction *binaries*:
-/// `MEMX_DOMINANCE=0` disables the off-chip dominance rule, anything
-/// else (or unset) keeps it on. The rule only removes symmetric
-/// duplicates, so the returned organization is identical either way;
-/// only the node and cut counters differ — which is exactly what
-/// `scripts/bench_baseline.sh` records (and `bench_regression.sh`
-/// gates) to keep the tie-plateau collapse measurable. Library entry
-/// points never read it; [`paper_context`] always uses the default
-/// (enabled) rule.
-pub fn env_dominance() -> bool {
-    std::env::var("MEMX_DOMINANCE").ok().as_deref() != Some("0")
-}
-
-/// Branch-and-bound lower-bound override for the reproduction
-/// *binaries*: `MEMX_BOUND=solo` falls back to the original solo-1-port
-/// suffix bound, anything else (or unset) uses the pairwise-conflict
-/// bound. With an unexhausted node budget the results are identical
-/// either way (both bounds are admissible); only the nodes-visited
-/// counters differ — which is exactly what `scripts/bench_baseline.sh`
-/// records to keep the pruning gain measurable. Library entry points
-/// never read it; [`paper_context`] always uses the default (pairwise)
-/// bound.
-pub fn env_bound() -> memx_core::alloc::BoundKind {
-    match std::env::var("MEMX_BOUND").ok().as_deref() {
-        Some("solo") => memx_core::alloc::BoundKind::Solo,
-        _ => memx_core::alloc::BoundKind::Pairwise,
+impl RunKnobs {
+    /// Resolves every knob from the process environment (and the
+    /// `--smoke` argument). Binaries call this exactly once, at entry;
+    /// everything downstream takes the struct by value.
+    pub fn from_env() -> Self {
+        let smoke = std::env::var_os("MEMX_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+            || std::env::args().any(|a| a == "--smoke");
+        let workers = std::env::var("MEMX_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let node_limit = std::env::var("MEMX_NODE_LIMIT")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        let cache = std::env::var_os("MEMX_CACHE_DIR")
+            .filter(|dir| !dir.is_empty())
+            .and_then(|dir| match EvalCache::open(&dir) {
+                Ok(cache) => Some(Arc::new(cache)),
+                Err(e) => {
+                    eprintln!("[eval cache disabled: {e}]");
+                    None
+                }
+            });
+        let dominance = std::env::var("MEMX_DOMINANCE").ok().as_deref() != Some("0");
+        let bound = match std::env::var("MEMX_BOUND").ok().as_deref() {
+            Some("solo") => memx_core::alloc::BoundKind::Solo,
+            _ => memx_core::alloc::BoundKind::Pairwise,
+        };
+        RunKnobs {
+            smoke,
+            workers,
+            node_limit,
+            cache,
+            dominance,
+            bound,
+        }
     }
 }
 
@@ -232,7 +239,10 @@ impl PaperContext {
     /// The exploration engine every table fans its design points over
     /// (persistent cache attached when the context carries one).
     pub fn engine(&self) -> Engine<'_> {
-        Engine::with_workers(&self.lib, self.workers).with_eval_cache(self.cache.clone())
+        Engine::builder(&self.lib)
+            .workers(self.workers)
+            .eval_cache(self.cache.clone())
+            .build()
     }
 }
 
@@ -250,30 +260,29 @@ pub fn paper_context() -> PaperContext {
 
 /// The context for the reproduction *binaries*: full paper fidelity
 /// normally, the cheap profile and reduced allocation search when
-/// [`smoke_mode`] is on. Only binaries should call this — library users,
-/// tests and benches use the env-independent [`paper_context`].
-pub fn context() -> PaperContext {
-    let workers = env_workers();
-    let smoke = smoke_mode();
+/// `knobs.smoke` is on. Only binaries should call this — with the
+/// [`RunKnobs`] they resolved once at entry; library users, tests and
+/// benches use the env-independent [`paper_context`].
+pub fn context(knobs: RunKnobs) -> PaperContext {
     let alloc = AllocOptions {
-        node_limit: env_node_limit().unwrap_or(if smoke {
+        node_limit: knobs.node_limit.unwrap_or(if knobs.smoke {
             SMOKE_NODE_LIMIT
         } else {
             AllocOptions::default().node_limit
         }),
-        workers,
-        bound: env_bound(),
-        off_chip_dominance: env_dominance(),
+        workers: knobs.workers,
+        bound: knobs.bound,
+        off_chip_dominance: knobs.dominance,
         ..AllocOptions::default()
     };
-    let frame = if smoke {
+    let frame = if knobs.smoke {
         SMOKE_PROFILE_FRAME
     } else {
         PROFILE_FRAME
     };
     PaperContext {
-        workers,
-        cache: env_cache(),
+        workers: knobs.workers,
+        cache: knobs.cache,
         ..context_with(frame, alloc)
     }
 }

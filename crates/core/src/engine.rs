@@ -126,29 +126,74 @@ pub struct Engine<'l> {
     cache: Option<Arc<EvalCache>>,
 }
 
-impl<'l> Engine<'l> {
-    /// Engine over `lib` with one worker per available core.
-    pub fn new(lib: &'l MemLibrary) -> Self {
-        Self::with_workers(lib, 0)
+/// Configures and constructs an [`Engine`]: worker pool size and an
+/// optional persistent evaluation cache, settable in any order before
+/// [`EngineBuilder::build`].
+#[derive(Debug)]
+pub struct EngineBuilder<'l> {
+    lib: &'l MemLibrary,
+    workers: usize,
+    cache: Option<Arc<EvalCache>>,
+}
+
+impl<'l> EngineBuilder<'l> {
+    /// Sets the worker pool size (`0` = one per available core, `1` =
+    /// evaluate on the calling thread). Defaults to `0`.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
-    /// Engine over `lib` with an explicit worker count (`0` = one per
-    /// available core, `1` = evaluate on the calling thread).
-    pub fn with_workers(lib: &'l MemLibrary, workers: usize) -> Self {
+    /// Attaches a persistent evaluation cache: schedule distributions
+    /// and allocation solutions are then served from / published to
+    /// disk (see [`crate::cache`]). Results are bit-identical with or
+    /// without a cache — only the work to produce them changes.
+    ///
+    /// Accepts an `Arc<EvalCache>` directly or an `Option` for callers
+    /// threading a maybe-configured cache through.
+    pub fn eval_cache(mut self, cache: impl Into<Option<Arc<EvalCache>>>) -> Self {
+        self.cache = cache.into();
+        self
+    }
+
+    /// Builds the engine, resolving `workers == 0` to one per core.
+    pub fn build(self) -> Engine<'l> {
         Engine {
-            lib,
-            workers: match workers {
+            lib: self.lib,
+            workers: match self.workers {
                 0 => auto_workers(),
                 n => n,
             },
+            cache: self.cache,
+        }
+    }
+}
+
+impl<'l> Engine<'l> {
+    /// Engine over `lib` with one worker per available core.
+    pub fn new(lib: &'l MemLibrary) -> Self {
+        Self::builder(lib).build()
+    }
+
+    /// Starts configuring an engine over `lib`:
+    /// `Engine::builder(lib).workers(n).eval_cache(cache).build()`.
+    pub fn builder(lib: &'l MemLibrary) -> EngineBuilder<'l> {
+        EngineBuilder {
+            lib,
+            workers: 0,
             cache: None,
         }
     }
 
-    /// Attaches a persistent evaluation cache: schedule distributions
-    /// are then served from / published to disk (see [`crate::cache`]).
-    /// Results are bit-identical with or without a cache — only the
-    /// work to produce them changes.
+    /// Engine over `lib` with an explicit worker count (`0` = one per
+    /// available core, `1` = evaluate on the calling thread).
+    #[deprecated(note = "use `Engine::builder(lib).workers(n).build()`")]
+    pub fn with_workers(lib: &'l MemLibrary, workers: usize) -> Self {
+        Self::builder(lib).workers(workers).build()
+    }
+
+    /// Attaches a persistent evaluation cache.
+    #[deprecated(note = "use `Engine::builder(lib).eval_cache(cache).build()`")]
     pub fn with_eval_cache(mut self, cache: Option<Arc<EvalCache>>) -> Self {
         self.cache = cache;
         self
@@ -451,7 +496,7 @@ mod tests {
         let spec = spec("t");
         let points = budget_points(&spec);
         for workers in [1, 4] {
-            let engine = Engine::with_workers(&lib, workers);
+            let engine = Engine::builder(&lib).workers(workers).build();
             let batch = engine.evaluate_many(&points);
             assert_eq!(batch.len(), points.len());
             for (result, point) in batch.iter().zip(&points) {
@@ -492,7 +537,7 @@ mod tests {
                 )
             })
             .collect();
-        let engine = Engine::with_workers(&lib, 2);
+        let engine = Engine::builder(&lib).workers(2).build();
         for (result, point) in engine.evaluate_many(&points).iter().zip(&points) {
             let solo = evaluate(&spec, &lib, &point.options).unwrap();
             let batch = result.as_ref().unwrap();
@@ -506,7 +551,7 @@ mod tests {
         let lib = MemLibrary::default_07um();
         let spec = spec("t");
         let good: Vec<DesignPoint> = budget_points(&spec).into_iter().take(3).collect();
-        let engine = Engine::with_workers(&lib, 3);
+        let engine = Engine::builder(&lib).workers(3).build();
         let exploration = engine.explore(&good).unwrap();
         let labels: Vec<&str> = exploration
             .reports()
@@ -548,9 +593,12 @@ mod tests {
         let lib = MemLibrary::default_07um();
         let spec = spec("t");
         let points = budget_points(&spec);
-        let many = Engine::with_workers(&lib, 1).evaluate_many(&points);
+        let many = Engine::builder(&lib)
+            .workers(1)
+            .build()
+            .evaluate_many(&points);
         for workers in [1, 2, 8] {
-            let engine = Engine::with_workers(&lib, workers);
+            let engine = Engine::builder(&lib).workers(workers).build();
             let mut visited: Vec<usize> = Vec::new();
             engine.evaluate_stream(&points, |i, result| {
                 visited.push(i);
@@ -573,7 +621,7 @@ mod tests {
         let lib = MemLibrary::default_07um();
         let spec = spec("t");
         let points = budget_points(&spec);
-        let engine = Engine::with_workers(&lib, 1);
+        let engine = Engine::builder(&lib).workers(1).build();
         let before = thread_spawns_on_current_thread();
         let mut n = 0;
         engine.evaluate_stream(&points, |_, _| n += 1);
@@ -597,12 +645,18 @@ mod tests {
         let lib = MemLibrary::default_07um();
         let spec = spec("t");
         let points = budget_points(&spec);
-        let plain = Engine::with_workers(&lib, 2).evaluate_many(&points);
+        let plain = Engine::builder(&lib)
+            .workers(2)
+            .build()
+            .evaluate_many(&points);
         // Cold pass fills the cache, warm pass is served from it; both
         // must equal the uncached reports exactly.
         let mut cold_stats = None;
         for pass in ["cold", "warm"] {
-            let engine = Engine::with_workers(&lib, 2).with_eval_cache(Some(Arc::clone(&cache)));
+            let engine = Engine::builder(&lib)
+                .workers(2)
+                .eval_cache(Arc::clone(&cache))
+                .build();
             for (result, reference) in engine.evaluate_many(&points).iter().zip(&plain) {
                 match (result, reference) {
                     (Ok(a), Ok(b)) => {
@@ -668,6 +722,21 @@ mod tests {
     fn engine_resolves_auto_workers() {
         let lib = MemLibrary::default_07um();
         assert!(Engine::new(&lib).workers() >= 1);
-        assert_eq!(Engine::with_workers(&lib, 5).workers(), 5);
+        assert_eq!(Engine::builder(&lib).workers(5).build().workers(), 5);
+    }
+
+    /// The deprecated constructors stay behaviour-identical shims over
+    /// the builder until external callers have migrated.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_match_builder() {
+        let lib = MemLibrary::default_07um();
+        assert_eq!(
+            Engine::with_workers(&lib, 5).workers(),
+            Engine::builder(&lib).workers(5).build().workers()
+        );
+        let shim = Engine::with_workers(&lib, 1).with_eval_cache(None);
+        assert!(shim.eval_cache().is_none());
+        assert_eq!(shim.workers(), 1);
     }
 }

@@ -79,6 +79,27 @@ fn unordered_iter_fixture_is_caught_and_strings_are_not() {
 }
 
 #[test]
+fn unordered_iter_carve_out_is_per_file_not_per_crate() {
+    let cfg = Config::workspace();
+    // The serve crate's response-map module is scope-carved: header
+    // lookups never iterate the map, so `HashMap` is legal there.
+    let carved = lint_file("crates/serve/src/http.rs", UNORDERED_FIXTURE, &cfg);
+    assert!(
+        !names(&carved).contains(&Lint::NoUnorderedIter.name()),
+        "http.rs is carved out: {:?}",
+        carved.findings
+    );
+    // The carve-out is the file, not the crate: the same source in any
+    // sibling serve module still gets flagged.
+    let sibling = lint_file("crates/serve/src/server.rs", UNORDERED_FIXTURE, &cfg);
+    assert!(
+        names(&sibling).contains(&Lint::NoUnorderedIter.name()),
+        "server.rs stays in scope: {:?}",
+        sibling.findings
+    );
+}
+
+#[test]
 fn ambient_state_fixture_is_caught_outside_bench_modules() {
     let cfg = Config::workspace();
     let report = lint_file("crates/core/src/fake.rs", AMBIENT_FIXTURE, &cfg);

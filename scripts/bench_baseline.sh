@@ -39,6 +39,14 @@
 # bound alone prunes nothing there and the with/without ratio isolates
 # the dominance rule's contribution. scripts/bench_regression.sh gates
 # nodes-with < nodes-without self-contained.
+#
+# The v7 schema adds the resident-daemon block (serve): memx-serve is
+# booted on loopback with a throwaway cache and driven through a cold
+# and a warm demo batch by the scripted client; the block records the
+# warm pass's cache hits (from the response trailers) plus the daemon's
+# cumulative rows_streamed / rejected_requests counters (from
+# /v1/stats). scripts/bench_regression.sh gates warm_hits > 0 — the
+# resident cache must actually serve the second pass.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,7 +56,7 @@ BINARIES=(table3_cycle_budget table4_allocation codec_rd_sweep)
 # Unexhausted node budget for the bound comparison (see header).
 NODES_LIMIT=100000000
 
-cargo build --release --package memx-bench --bins
+cargo build --release --package memx-bench --package memx-serve --bins
 
 now_ns() { date +%s%N; }
 
@@ -116,7 +124,13 @@ printf 'bench: table4 serial %ss / parallel %ss -> speedup %sx on %s core(s)\n' 
 # Cold/warm cache counters (table3: the most cache-active binary —
 # its crossover probe plus the sweep distribute dozens of schedules).
 cache_dir=$(mktemp -d)
-trap 'rm -rf "$cache_dir"' EXIT
+serve_dir=$(mktemp -d)
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$cache_dir" "$serve_dir"
+}
+trap cleanup EXIT
 stderr_cold=$(env MEMX_CACHE_DIR="$cache_dir" MEMX_WORKERS=1 \
     ./target/release/table3_cycle_budget 2>&1 >/dev/null)
 stderr_warm=$(env MEMX_CACHE_DIR="$cache_dir" MEMX_WORKERS=1 \
@@ -158,9 +172,38 @@ plateau_cuts=$(stat_line "$stderr_plateau_on" "off-chip dominance cuts")
 printf 'bench: plateau off-chip nodes with dominance %s / without %s (cuts %s)\n' \
     "$plateau_nodes_with" "$plateau_nodes_without" "$plateau_cuts"
 
+# Resident-daemon counters: boot memx-serve with a throwaway cache,
+# drive the demo batch cold then warm, read the warm pass's cache-hit
+# trailers and the daemon's cumulative /v1/stats counters.
+./target/release/memx-serve --addr 127.0.0.1:0 \
+    --cache-dir "$serve_dir/cache" > "$serve_dir/serve.log" &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 50); do
+    serve_addr=$(sed -n 's/^memx-serve listening on //p' "$serve_dir/serve.log")
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+[ -n "$serve_addr" ] || { echo "bench: memx-serve never came up" >&2; exit 1; }
+./target/release/serve_client demo > "$serve_dir/request.json"
+./target/release/serve_client evaluate "$serve_addr" \
+    < "$serve_dir/request.json" > /dev/null 2> "$serve_dir/cold.trailers"
+./target/release/serve_client evaluate "$serve_addr" \
+    < "$serve_dir/request.json" > /dev/null 2> "$serve_dir/warm.trailers"
+serve_warm_hits=$(sed -n 's/^x-memx-cache-[a-z]*: \([0-9]*\) hits.*/\1/p' \
+    "$serve_dir/warm.trailers" | awk '{ s += $1 } END { print s + 0 }')
+sleep 0.2
+serve_stats=$(./target/release/serve_client stats "$serve_addr")
+serve_rows=$(sed -n 's/.*"rows_streamed":\([0-9]*\).*/\1/p' <<<"$serve_stats")
+serve_rejected=$(sed -n 's/.*"rejected_requests":\([0-9]*\).*/\1/p' <<<"$serve_stats")
+kill "$serve_pid" 2>/dev/null || true
+serve_pid=""
+printf 'bench: serve warm hits %s, rows streamed %s, rejected %s\n' \
+    "$serve_warm_hits" "$serve_rows" "$serve_rejected"
+
 cat > "$OUT" << EOF
 {
-  "schema": "memexplore-bench-v6",
+  "schema": "memexplore-bench-v7",
   "generated_unix": $(date +%s),
   "smoke": $smoke,
   "cores": $cores,
@@ -196,6 +239,11 @@ ${entries%,$'\n'}
     "cold_misses": $alloc_cold_misses,
     "warm_hits": $alloc_warm_hits,
     "warm_misses": $alloc_warm_misses
+  },
+  "serve": {
+    "warm_hits": $serve_warm_hits,
+    "rows_streamed": $serve_rows,
+    "rejected_requests": $serve_rejected
   }
 }
 EOF

@@ -25,15 +25,19 @@
 #     needed;
 #   * NEW's alloc_cache block reports zero warm hits or nonzero warm
 #     misses (same invariant for the phase-2 allocation cache: a warm
-#     run must short-circuit every branch-and-bound) — self-contained.
+#     run must short-circuit every branch-and-bound) — self-contained;
+#   * NEW's serve block reports zero warm hits (the resident daemon's
+#     shared cache stopped serving the second pass of an identical
+#     batch) — self-contained.
 #
 # A missing PREV (first run, expired CI cache) skips the wall-clock
 # comparison with a note instead of failing, so the gate bootstraps
 # itself. A PREV from an older schema (no table4_off_chip block, a
 # v3 artifact without the scbd_cache block, a v4 artifact without
-# the alloc_cache block, or a v5 artifact without the dominance block)
-# skips only the affected vs-baseline comparison, again with a note —
-# older artifacts must never turn the gate red.
+# the alloc_cache block, a v5 artifact without the dominance block, or
+# a v6 artifact without the serve block) skips only the affected
+# vs-baseline comparison, again with a note — older artifacts must
+# never turn the gate red.
 set -euo pipefail
 
 prev=${1:?usage: bench_regression.sh PREV.json NEW.json}
@@ -154,6 +158,24 @@ if [ -f "$prev" ] && [ -z "$(field "$prev" warm_hits)" ]; then
     echo "bench-regression: previous artifact predates scbd_cache (older schema); cache gate is self-contained, nothing skipped"
 elif [ -f "$prev" ] && [ -z "$(block_field "$prev" alloc_cache warm_hits)" ]; then
     echo "bench-regression: previous artifact predates alloc_cache (v4 schema); cache gate is self-contained, nothing skipped"
+fi
+
+# --- Resident-daemon cache invariant (self-contained). ----------------
+serve_warm_hits=$(block_field "$new" serve warm_hits)
+serve_rows=$(block_field "$new" serve rows_streamed)
+if [ -n "$serve_warm_hits" ] && [ -n "$serve_rows" ]; then
+    if [ "$serve_warm_hits" -eq 0 ]; then
+        echo "bench-regression: FAIL resident daemon's warm pass served no cache hits" >&2
+        fail=1
+    else
+        echo "bench-regression: serve ok (warm hits $serve_warm_hits, rows streamed $serve_rows)"
+    fi
+else
+    echo "bench-regression: FAIL $new lacks serve counters" >&2
+    fail=1
+fi
+if [ -f "$prev" ] && [ -z "$(block_field "$prev" serve warm_hits)" ]; then
+    echo "bench-regression: previous artifact predates the serve block (v6 schema); serve gate is self-contained, nothing skipped"
 fi
 
 # --- Off-chip nodes vs the previous artifact. -------------------------

@@ -15,3 +15,10 @@ BINARIES=(
     ablation_balancing
     plateau_dominance
 )
+
+# The resident daemon is deliberately NOT in BINARIES: every harness
+# above expects a terminating process, while memx-serve runs until
+# killed. scripts/serve_smoke.sh drives it (boot, scripted client
+# passes, kill) and CI runs that as its own job.
+SERVE_BINARY=memx-serve
+SERVE_CLIENT=serve_client
