@@ -1,0 +1,196 @@
+//! The documented workload corpus: textual specs loaded from disk.
+//!
+//! A *corpus entry* is one `.mxspec` file (grammar in
+//! `docs/spec_format.md`) describing a demonstrator application —
+//! motion estimation, wavelet coding, convolution tiling, the paper's
+//! cavity detector. The repository ships them under `corpus/`, each
+//! documented in `docs/corpus.md`; [`load_dir`] reads any directory
+//! with the same shape, so private workload sets plug straight into
+//! the same runners.
+//!
+//! Loading is deterministic: entries come back sorted by file name,
+//! and every entry carries its raw text next to the parsed
+//! [`AppSpec`], so callers can verify the printer round-trip or
+//! re-serve the original bytes without touching the filesystem again.
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use memx_ir::{parse_spec, AppSpec, SpecTextError};
+
+/// One loaded corpus workload: the file it came from, its raw text and
+/// the parsed specification.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Entry name: the file stem (`corpus/foo.mxspec` → `foo`).
+    pub name: String,
+    /// The file the entry was read from.
+    pub path: PathBuf,
+    /// Raw file contents, exactly as read.
+    pub text: String,
+    /// The parsed specification.
+    pub spec: AppSpec,
+}
+
+/// Errors loading a corpus directory.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The directory or a spec file could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A spec file failed to parse; the diagnostic carries the line
+    /// and column inside that file.
+    Parse {
+        /// The offending file.
+        path: PathBuf,
+        /// The parser diagnostic.
+        source: SpecTextError,
+    },
+    /// The directory exists but holds no `.mxspec` files — almost
+    /// always a wrong path, so it is an error rather than an empty
+    /// result.
+    Empty {
+        /// The directory that was scanned.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Io { path, source } => {
+                write!(f, "corpus read failed at {}: {source}", path.display())
+            }
+            CorpusError::Parse { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            CorpusError::Empty { path } => {
+                write!(f, "no .mxspec files under {}", path.display())
+            }
+        }
+    }
+}
+
+impl Error for CorpusError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CorpusError::Io { source, .. } => Some(source),
+            CorpusError::Parse { source, .. } => Some(source),
+            CorpusError::Empty { .. } => None,
+        }
+    }
+}
+
+/// Loads every `.mxspec` file directly under `dir`, sorted by file
+/// name. Non-spec files are ignored; subdirectories are not descended
+/// into.
+///
+/// # Errors
+///
+/// [`CorpusError::Io`] if the directory or a file cannot be read,
+/// [`CorpusError::Parse`] (with file, line and column) if a spec is
+/// malformed, and [`CorpusError::Empty`] if no `.mxspec` file exists —
+/// a silent empty corpus would make every downstream gate vacuously
+/// green.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, CorpusError> {
+    let io = |path: &Path, source: std::io::Error| CorpusError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| io(dir, e))? {
+        let entry = entry.map_err(|e| io(dir, e))?;
+        let path = entry.path();
+        if path.is_file() && path.extension().is_some_and(|x| x == "mxspec") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+    let mut entries = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path).map_err(|e| io(&path, e))?;
+        let spec = parse_spec(&text).map_err(|source| CorpusError::Parse {
+            path: path.clone(),
+            source,
+        })?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        entries.push(CorpusEntry {
+            name,
+            path,
+            text,
+            spec,
+        });
+    }
+    if entries.is_empty() {
+        return Err(CorpusError::Empty {
+            path: dir.to_path_buf(),
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memx_ir::print_spec;
+
+    fn repo_corpus() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+    }
+
+    #[test]
+    fn the_shipped_corpus_loads_sorted_and_round_trips() {
+        let entries = load_dir(&repo_corpus()).unwrap();
+        assert!(entries.len() >= 4, "corpus shrank: {}", entries.len());
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        for e in &entries {
+            let reparsed = parse_spec(&print_spec(&e.spec)).unwrap();
+            assert_eq!(e.spec, reparsed, "{}", e.name);
+            assert_eq!(e.spec.content_hash(), reparsed.content_hash());
+            assert!(e.spec.cycle_budget() >= e.spec.min_cycles(), "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn the_paper_demonstrators_are_present() {
+        let entries = load_dir(&repo_corpus()).unwrap();
+        for wanted in [
+            "cavity_detector",
+            "conv_tiling",
+            "motion_estimation",
+            "wavelet_spiht",
+        ] {
+            assert!(
+                entries.iter().any(|e| e.name == wanted),
+                "missing corpus entry `{wanted}`"
+            );
+        }
+    }
+
+    #[test]
+    fn a_missing_directory_is_an_io_error() {
+        let e = load_dir(Path::new("/nonexistent/corpus")).unwrap_err();
+        assert!(matches!(e, CorpusError::Io { .. }), "{e}");
+        assert!(e.to_string().contains("/nonexistent/corpus"));
+    }
+
+    #[test]
+    fn a_directory_without_specs_is_refused() {
+        // The crate's own src/ tree exists but holds no .mxspec files.
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        let e = load_dir(&dir).unwrap_err();
+        assert!(matches!(e, CorpusError::Empty { .. }), "{e}");
+    }
+}

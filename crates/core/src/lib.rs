@@ -55,6 +55,7 @@
 
 pub mod alloc;
 pub mod cache;
+pub mod corpus;
 pub mod engine;
 mod error;
 pub mod explore;

@@ -40,18 +40,34 @@
 //! # }
 //! ```
 
+//! # Textual front-end
+//!
+//! Specs also exist as *data*: a versioned textual format (grammar in
+//! `docs/spec_format.md`) read by [`parse_spec`] and written by
+//! [`spec_text::print_spec`], with [`specgen`] generating seeded
+//! random specs for stress sweeps. Parsing funnels through
+//! [`AppSpecBuilder`], so a parsed spec is indistinguishable — same
+//! invariants, same [`AppSpec::content_hash`] — from one built in
+//! Rust.
+
 #![forbid(unsafe_code)]
-#![warn(missing_docs, missing_debug_implementations)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 mod access;
 mod error;
 mod group;
 pub mod hash;
 mod loops;
+pub mod parse;
 mod spec;
+pub mod spec_text;
+pub mod specgen;
 
 pub use access::{Access, AccessId, AccessKind};
 pub use error::{BuildSpecError, ValidateSpecError};
 pub use group::{BasicGroup, BasicGroupId, Placement};
 pub use loops::{DependencyEdge, LoopNest, LoopNestId};
+pub use parse::parse_spec;
 pub use spec::{AppSpec, AppSpecBuilder};
+pub use spec_text::{print_spec, SpecTextError, SPEC_TEXT_VERSION};

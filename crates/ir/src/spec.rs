@@ -519,6 +519,12 @@ impl AppSpecBuilder {
         self.groups.len()
     }
 
+    /// Looks up a declared basic group by name (how the textual
+    /// front-end resolves access references).
+    pub fn group_id(&self, name: &str) -> Option<BasicGroupId> {
+        self.names.get(name).copied()
+    }
+
     /// Read access to the nests assembled so far (transform support).
     pub fn nests(&self) -> &[LoopNest] {
         &self.nests

@@ -1,0 +1,279 @@
+//! The textual specification format: version, diagnostics, and the
+//! canonical pretty-printer.
+//!
+//! The format is the data-side twin of [`AppSpecBuilder`]: every
+//! declaration maps onto exactly one builder call, so a parsed spec
+//! carries the same invariants (and therefore the same
+//! [`AppSpec::content_hash`]) as one built from Rust. The grammar is
+//! documented in `docs/spec_format.md`; [`crate::parse_spec`] is the
+//! reader, [`print_spec`] the writer.
+//!
+//! Printing is *canonical*: one fixed layout, field order and
+//! default-elision policy, so `parse(print(spec)) == spec` holds for
+//! every buildable spec and `print(parse(text))` is a fixed point after
+//! one round trip. Both properties are pinned by the round-trip
+//! property tests in `tests/prop.rs`.
+//!
+//! [`AppSpecBuilder`]: crate::AppSpecBuilder
+
+use std::fmt;
+
+use crate::{AppSpec, Placement};
+
+/// The format generation this build reads and writes. Every spec text
+/// opens with `spec v1 ...`; a reader encountering a larger version
+/// must refuse the text (fields may have semantics it cannot honor)
+/// rather than guess — see the forward-compatibility rules in
+/// `docs/spec_format.md`.
+pub const SPEC_TEXT_VERSION: u32 = 1;
+
+/// A diagnostic from [`crate::parse_spec`]: what went wrong and the
+/// 1-based line/column of the offending token.
+///
+/// The message names the offending field or entity (`group `image`:
+/// missing `words``), so a client can surface it verbatim. Columns
+/// count characters, not bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecTextError {
+    line: u32,
+    column: u32,
+    message: String,
+}
+
+impl SpecTextError {
+    /// Builds a diagnostic at `line`/`column` (both 1-based).
+    pub(crate) fn new(line: u32, column: u32, message: impl Into<String>) -> Self {
+        SpecTextError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line of the offending token.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// 1-based column (in characters) of the offending token.
+    pub fn column(&self) -> u32 {
+        self.column
+    }
+
+    /// The human-readable diagnostic, without the position prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SpecTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for SpecTextError {}
+
+/// Renders `spec` in the canonical textual form.
+///
+/// The layout is fixed — two-space indentation, one declaration per
+/// line, fields in declaration order — and defaulted fields are
+/// elided: `real_time_seconds` at 1, `placement any`, `min_ports 1`,
+/// `weight 1` and absent `burst` are never written. Parsing the result
+/// reproduces `spec` exactly (same [`AppSpec::content_hash`]).
+pub fn print_spec(spec: &AppSpec) -> String {
+    let mut out = String::new();
+    out.push_str("spec v");
+    push_u64(&mut out, u64::from(SPEC_TEXT_VERSION));
+    out.push(' ');
+    push_string(&mut out, spec.name());
+    out.push_str(" {\n  cycle_budget ");
+    push_u64(&mut out, spec.cycle_budget());
+    out.push('\n');
+    if spec.real_time_seconds() != 1.0 {
+        out.push_str("  real_time_seconds ");
+        push_f64(&mut out, spec.real_time_seconds());
+        out.push('\n');
+    }
+    for g in spec.basic_groups() {
+        out.push_str("  group ");
+        push_string(&mut out, g.name());
+        out.push_str(" {\n    words ");
+        push_u64(&mut out, g.words());
+        out.push_str("\n    bitwidth ");
+        push_u64(&mut out, u64::from(g.bitwidth()));
+        out.push('\n');
+        match g.placement() {
+            Placement::Any => {}
+            Placement::OnChip => out.push_str("    placement on_chip\n"),
+            Placement::OffChip => out.push_str("    placement off_chip\n"),
+        }
+        if g.min_ports() != 1 {
+            out.push_str("    min_ports ");
+            push_u64(&mut out, u64::from(g.min_ports()));
+            out.push('\n');
+        }
+        out.push_str("  }\n");
+    }
+    for n in spec.loop_nests() {
+        out.push_str("  nest ");
+        push_string(&mut out, n.name());
+        out.push_str(" {\n    iterations ");
+        push_u64(&mut out, n.iterations());
+        out.push('\n');
+        for a in n.accesses() {
+            out.push_str(if a.kind().is_read() {
+                "    read "
+            } else {
+                "    write "
+            });
+            push_string(&mut out, spec.group(a.group()).name());
+            if a.weight() != 1.0 {
+                out.push_str(" weight ");
+                push_f64(&mut out, a.weight());
+            }
+            if a.is_burst() {
+                out.push_str(" burst");
+            }
+            out.push('\n');
+        }
+        for e in n.dependencies() {
+            out.push_str("    dep ");
+            push_u64(&mut out, e.from.index() as u64);
+            out.push_str(" -> ");
+            push_u64(&mut out, e.to.index() as u64);
+            out.push('\n');
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    for &b in &buf[i..] {
+        out.push(b as char);
+    }
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // Rust's `Display` for f64 is the shortest decimal that parses back
+    // to the same bits and never uses exponent notation, which is
+    // exactly the round-trip guarantee the format needs.
+    use fmt::Write as _;
+    let _ = write!(out, "{v}");
+}
+
+/// Writes `s` as a quoted string literal, escaping the characters the
+/// lexer treats specially (`"` and `\`) and the whitespace controls.
+fn push_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessKind, AppSpecBuilder};
+
+    fn demo() -> AppSpec {
+        let mut b = AppSpecBuilder::new("demo");
+        let x = b.basic_group("x", 1024, 8).unwrap();
+        let f = b
+            .basic_group_full("frame", 65536, 16, Placement::OffChip, 2)
+            .unwrap();
+        let n = b.loop_nest("scan", 4096).unwrap();
+        let a0 = b.access(n, x, AccessKind::Read).unwrap();
+        let a1 = b.access_full(n, f, AccessKind::Write, 0.5, true).unwrap();
+        b.depend(n, a0, a1).unwrap();
+        b.cycle_budget(100_000).real_time_seconds(0.01);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn canonical_layout_is_pinned() {
+        let expected = "\
+spec v1 \"demo\" {
+  cycle_budget 100000
+  real_time_seconds 0.01
+  group \"x\" {
+    words 1024
+    bitwidth 8
+  }
+  group \"frame\" {
+    words 65536
+    bitwidth 16
+    placement off_chip
+    min_ports 2
+  }
+  nest \"scan\" {
+    iterations 4096
+    read \"x\"
+    write \"frame\" weight 0.5 burst
+    dep 0 -> 1
+  }
+}
+";
+        assert_eq!(print_spec(&demo()), expected);
+    }
+
+    #[test]
+    fn defaults_are_elided() {
+        let mut b = AppSpecBuilder::new("tiny");
+        let g = b.basic_group("g", 1, 1).unwrap();
+        let n = b.loop_nest("l", 1).unwrap();
+        b.access(n, g, AccessKind::Write).unwrap();
+        b.cycle_budget(10);
+        let text = print_spec(&b.build().unwrap());
+        assert!(!text.contains("real_time_seconds"));
+        assert!(!text.contains("placement"));
+        assert!(!text.contains("min_ports"));
+        assert!(!text.contains("weight"));
+        assert!(!text.contains("burst"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut b = AppSpecBuilder::new("quote\"and\\slash");
+        b.basic_group("g\nline", 1, 1).unwrap();
+        b.cycle_budget(1);
+        let text = print_spec(&b.build().unwrap());
+        assert!(text.contains("\"quote\\\"and\\\\slash\""));
+        assert!(text.contains("\"g\\nline\""));
+    }
+
+    #[test]
+    fn error_display_carries_position() {
+        let e = SpecTextError::new(3, 7, "group `x`: missing `words`");
+        assert_eq!(
+            e.to_string(),
+            "line 3, column 7: group `x`: missing `words`"
+        );
+        assert_eq!((e.line(), e.column()), (3, 7));
+    }
+}

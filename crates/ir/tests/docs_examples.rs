@@ -1,0 +1,83 @@
+//! Executes the grammar reference: every fenced ` ```mxspec ` block in
+//! `docs/spec_format.md` must parse verbatim and round-trip through
+//! the canonical printer. A documentation edit that breaks an example
+//! — or deletes the examples — fails this suite, so the reference
+//! cannot drift from the parser.
+
+use memx_ir::{parse_spec, print_spec};
+
+const SPEC_FORMAT_MD: &str = include_str!("../../../docs/spec_format.md");
+
+/// The bodies of all ` ```mxspec ` fences, in document order.
+fn mxspec_blocks(doc: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in doc.lines() {
+        match &mut current {
+            None if line.trim() == "```mxspec" => current = Some(String::new()),
+            None => {}
+            Some(body) => {
+                if line.trim() == "```" {
+                    blocks.push(current.take().expect("fence is open"));
+                } else {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```mxspec fence");
+    blocks
+}
+
+#[test]
+fn every_documented_example_parses_and_round_trips() {
+    let blocks = mxspec_blocks(SPEC_FORMAT_MD);
+    assert!(
+        blocks.len() >= 3,
+        "docs/spec_format.md must keep at least three worked examples, found {}",
+        blocks.len()
+    );
+    for (i, text) in blocks.iter().enumerate() {
+        let spec = parse_spec(text)
+            .unwrap_or_else(|e| panic!("docs example {i} does not parse: {e}\n{text}"));
+        let canonical = print_spec(&spec);
+        let reparsed = parse_spec(&canonical)
+            .unwrap_or_else(|e| panic!("canonical form of docs example {i} does not parse: {e}"));
+        assert_eq!(spec, reparsed, "docs example {i} is not round-trip stable");
+        assert_eq!(spec.content_hash(), reparsed.content_hash());
+    }
+}
+
+#[test]
+fn the_documented_examples_are_the_expected_workloads() {
+    let blocks = mxspec_blocks(SPEC_FORMAT_MD);
+    let names: Vec<String> = blocks
+        .iter()
+        .map(|t| parse_spec(t).expect("examples parse").name().to_string())
+        .collect();
+    for wanted in ["minimal", "fir", "histogram"] {
+        assert!(
+            names.iter().any(|n| n == wanted),
+            "docs example `{wanted}` missing (found {names:?})"
+        );
+    }
+}
+
+// The corpus documentation must keep one section per shipped corpus
+// entry — a drift gate between corpus/ and docs/corpus.md.
+#[test]
+fn corpus_doc_covers_every_shipped_entry() {
+    let corpus_md = include_str!("../../../docs/corpus.md");
+    for entry in [
+        "motion_estimation",
+        "wavelet_spiht",
+        "conv_tiling",
+        "cavity_detector",
+    ] {
+        assert!(
+            corpus_md.contains(&format!("## `{entry}`")),
+            "docs/corpus.md lacks a section for corpus entry `{entry}`"
+        );
+    }
+}

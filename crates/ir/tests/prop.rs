@@ -1,6 +1,8 @@
 //! Property-based tests on the specification IR.
 
-use memx_ir::{AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, LoopNestId};
+use memx_ir::{
+    parse_spec, print_spec, specgen, AccessKind, AppSpec, AppSpecBuilder, BasicGroupId, LoopNestId,
+};
 use proptest::prelude::*;
 
 /// A randomly generated, always-valid specification.
@@ -108,6 +110,33 @@ proptest! {
     #[test]
     fn validate_accepts_all_built_specs(spec in arb_spec()) {
         prop_assert!(spec.validate().is_ok());
+    }
+
+    // The textual front-end's contract: printing is canonical and
+    // parse∘print is the identity, so the content hash of a spec
+    // recovered from text equals the hash of the equivalent
+    // Rust-built spec (which is what keys the evaluation cache).
+    #[test]
+    fn text_round_trip_is_identity(spec in arb_spec()) {
+        let text = print_spec(&spec);
+        let reparsed = parse_spec(&text).expect("printed specs parse");
+        prop_assert_eq!(&spec, &reparsed);
+        prop_assert_eq!(spec.content_hash(), reparsed.content_hash());
+        // The canonical form is a fixed point of print∘parse.
+        prop_assert_eq!(text, print_spec(&reparsed));
+    }
+
+    // Same identity over the seeded generator, which (unlike
+    // `arb_spec`) also draws pinned placements, port floors and burst
+    // accesses — the full printable surface.
+    #[test]
+    fn generated_specs_round_trip_through_text(seed in 0u64..1_000_000, index in 0u64..4) {
+        let spec = specgen::generate(seed, index).expect("specgen plans are valid");
+        spec.validate().expect("generated specs are consistent");
+        let text = print_spec(&spec);
+        let reparsed = parse_spec(&text).expect("printed specs parse");
+        prop_assert_eq!(&spec, &reparsed);
+        prop_assert_eq!(spec.content_hash(), reparsed.content_hash());
     }
 
     #[test]

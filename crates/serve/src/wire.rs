@@ -17,7 +17,9 @@ use memx_core::alloc::{AllocOptions, BoundKind};
 use memx_core::engine::{DesignPoint, Engine};
 use memx_core::explore::{CostReport, EvaluateOptions};
 use memx_core::ExploreError;
-use memx_ir::{AccessKind, AppSpec, AppSpecBuilder, BuildSpecError, Placement};
+use memx_ir::{
+    parse_spec, AccessKind, AppSpec, AppSpecBuilder, BuildSpecError, Placement, SpecTextError,
+};
 use memx_memlib::MemLibrary;
 
 use crate::json::{self, Json};
@@ -88,6 +90,9 @@ pub enum WireError {
     /// The spec is well-formed JSON but semantically invalid (duplicate
     /// group name, cyclic dependency, zero words...). Maps to 422.
     Spec(BuildSpecError),
+    /// A `spec_text` member failed to parse; the diagnostic carries
+    /// the line and column inside the submitted text. Maps to 422.
+    SpecText(SpecTextError),
 }
 
 impl fmt::Display for WireError {
@@ -98,6 +103,7 @@ impl fmt::Display for WireError {
                 write!(f, "{what}: {got} exceeds the limit of {limit}")
             }
             WireError::Spec(e) => write!(f, "invalid spec: {e}"),
+            WireError::SpecText(e) => write!(f, "invalid spec_text: {e}"),
         }
     }
 }
@@ -110,7 +116,7 @@ impl WireError {
         match self {
             WireError::Shape { .. } => 400,
             WireError::Limit { .. } => 413,
-            WireError::Spec(_) => 422,
+            WireError::Spec(_) | WireError::SpecText(_) => 422,
         }
     }
 }
@@ -191,8 +197,39 @@ pub fn decode_evaluate(body: &Json, limits: WireLimits) -> Result<EvaluateReques
     if !matches!(body, Json::Obj(_)) {
         return Err(shape("request", "expected a JSON object"));
     }
-    let spec_json = member(body, "request", "spec")?;
-    let spec = decode_spec(spec_json, limits)?;
+    // Exactly one of `spec` (structured JSON) and `spec_text` (the
+    // textual format of docs/spec_format.md) carries the application.
+    let spec = match (body.get("spec"), body.get("spec_text")) {
+        (Some(_), Some(_)) => {
+            return Err(shape(
+                "request",
+                "`spec` and `spec_text` are mutually exclusive",
+            ))
+        }
+        (None, None) => {
+            return Err(shape(
+                "request",
+                "missing member (provide `spec` or `spec_text`)",
+            ))
+        }
+        (Some(spec_json), None) => decode_spec(spec_json, limits)?,
+        (None, Some(text_json)) => {
+            let text = text_json
+                .as_str()
+                .ok_or_else(|| shape("request.spec_text", "expected a string"))?;
+            let spec = parse_spec(text).map_err(WireError::SpecText)?;
+            // The textual path enforces the same shape cap as the
+            // structured one, just after parsing instead of before.
+            if spec.basic_groups().len() > limits.max_groups {
+                return Err(WireError::Limit {
+                    what: "spec.groups",
+                    limit: limits.max_groups,
+                    got: spec.basic_groups().len(),
+                });
+            }
+            spec
+        }
+    };
 
     let points_json = arr_member(body, "request", "points")?;
     if points_json.is_empty() {
@@ -588,6 +625,81 @@ mod tests {
             );
             assert_eq!(err.status(), status, "{body}");
         }
+    }
+
+    #[test]
+    fn spec_text_decodes_to_the_same_spec_as_json() {
+        let json_body = r#"{"spec": {"name": "wire", "cycle_budget": 100, "groups": [{"name": "g", "words": 64, "bitwidth": 8}], "nests": [{"name": "n", "iterations": 10, "accesses": [{"group": 0, "kind": "read"}]}]}, "points": [{}]}"#;
+        let text_body = r#"{"spec_text": "spec v1 \"wire\" {\n  cycle_budget 100\n  group \"g\" {\n    words 64\n    bitwidth 8\n  }\n  nest \"n\" {\n    iterations 10\n    read \"g\"\n  }\n}\n", "points": [{}]}"#;
+        let limits = WireLimits::default();
+        let from_json =
+            decode_evaluate(&json::parse(json_body.as_bytes()).unwrap(), limits).unwrap();
+        let from_text =
+            decode_evaluate(&json::parse(text_body.as_bytes()).unwrap(), limits).unwrap();
+        assert_eq!(from_json.spec, from_text.spec);
+        assert_eq!(
+            from_json.spec.content_hash(),
+            from_text.spec.content_hash(),
+            "text-submitted jobs must share cache keys with JSON ones"
+        );
+    }
+
+    #[test]
+    fn spec_and_spec_text_are_mutually_exclusive() {
+        let body = r#"{"spec": {"name": "x"}, "spec_text": "spec v1 \"x\" {}", "points": [{}]}"#;
+        let err = decode_evaluate(
+            &json::parse(body.as_bytes()).unwrap(),
+            WireLimits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+
+        let body = r#"{"points": [{}]}"#;
+        let err = decode_evaluate(
+            &json::parse(body.as_bytes()).unwrap(),
+            WireLimits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(
+            err.to_string().contains("provide `spec` or `spec_text`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn malformed_spec_text_maps_to_422_with_position() {
+        let body = r#"{"spec_text": "spec v9 \"x\" {}", "points": [{}]}"#;
+        let err = decode_evaluate(
+            &json::parse(body.as_bytes()).unwrap(),
+            WireLimits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.status(), 422);
+        let msg = err.to_string();
+        assert!(msg.contains("invalid spec_text"), "{msg}");
+        assert!(msg.contains("line 1, column 6"), "{msg}");
+        assert!(msg.contains("unsupported spec version `v9`"), "{msg}");
+    }
+
+    #[test]
+    fn spec_text_group_cap_is_enforced_after_parsing() {
+        let mut text = String::from("spec v1 \\\"big\\\" {\\n  cycle_budget 10\\n");
+        for i in 0..3 {
+            text.push_str(&format!(
+                "  group \\\"g{i}\\\" {{\\n    words 4\\n    bitwidth 8\\n  }}\\n"
+            ));
+        }
+        text.push_str("  nest \\\"n\\\" {\\n    iterations 1\\n    read \\\"g0\\\"\\n  }\\n}\\n");
+        let body = format!(r#"{{"spec_text": "{text}", "points": [{{}}]}}"#);
+        let limits = WireLimits {
+            max_groups: 2,
+            max_points: 2,
+        };
+        let err = decode_evaluate(&json::parse(body.as_bytes()).unwrap(), limits).unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert!(err.to_string().contains("spec.groups"), "{err}");
     }
 
     #[test]

@@ -468,6 +468,10 @@ impl Config {
         Config {
             panic_prefixes: vec![
                 s("crates/core/src/"),
+                // The ir prefix also covers the textual front-end
+                // (spec_text/parse/specgen): a malformed .mxspec file
+                // or a hostile serve `spec_text` body must surface as
+                // a positioned SpecTextError, never a parser panic.
                 s("crates/ir/src/"),
                 s("crates/memlib/src/"),
                 s("crates/profile/src/"),

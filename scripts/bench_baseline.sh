@@ -47,6 +47,15 @@
 # cumulative rows_streamed / rejected_requests counters (from
 # /v1/stats). scripts/bench_regression.sh gates warm_hits > 0 — the
 # resident cache must actually serve the second pass.
+#
+# The v8 schema adds the workload-corpus block (corpus): memx-corpus
+# parses every corpus/*.mxspec entry through the textual front-end,
+# proves the print/parse round-trip and evaluates each workload, run
+# cold then warm against a throwaway cache. The block records the
+# entry count plus the warm pass's scbd cache hits/misses;
+# scripts/bench_regression.sh gates entries > 0 and warm_hits > 0 —
+# text-loaded specs must hash onto the same cache keys as Rust-built
+# ones, or the warm pass would miss.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -125,10 +134,11 @@ printf 'bench: table4 serial %ss / parallel %ss -> speedup %sx on %s core(s)\n' 
 # its crossover probe plus the sweep distribute dozens of schedules).
 cache_dir=$(mktemp -d)
 serve_dir=$(mktemp -d)
+corpus_dir=$(mktemp -d)
 serve_pid=""
 cleanup() {
     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
-    rm -rf "$cache_dir" "$serve_dir"
+    rm -rf "$cache_dir" "$serve_dir" "$corpus_dir"
 }
 trap cleanup EXIT
 stderr_cold=$(env MEMX_CACHE_DIR="$cache_dir" MEMX_WORKERS=1 \
@@ -172,6 +182,21 @@ plateau_cuts=$(stat_line "$stderr_plateau_on" "off-chip dominance cuts")
 printf 'bench: plateau off-chip nodes with dominance %s / without %s (cuts %s)\n' \
     "$plateau_nodes_with" "$plateau_nodes_without" "$plateau_cuts"
 
+# Workload-corpus counters: cold/warm memx-corpus against a throwaway
+# cache. The warm pass hitting proves text-parsed specs share content
+# hashes (and so cache keys) with Rust-built ones.
+stderr_corpus_cold=$(env MEMX_CACHE_DIR="$corpus_dir/cache" MEMX_WORKERS=1 \
+    ./target/release/memx-corpus 2>&1 >/dev/null)
+corpus_out=$(env MEMX_CACHE_DIR="$corpus_dir/cache" MEMX_WORKERS=1 \
+    ./target/release/memx-corpus 2>"$corpus_dir/warm.err")
+stderr_corpus_warm=$(cat "$corpus_dir/warm.err")
+corpus_entries=$(sed -n 's/^corpus workloads: \([0-9]*\).*/\1/p' <<<"$corpus_out")
+corpus_cold_misses=$(cache_misses "$stderr_corpus_cold" scbd)
+corpus_warm_hits=$(cache_hits "$stderr_corpus_warm" scbd)
+corpus_warm_misses=$(cache_misses "$stderr_corpus_warm" scbd)
+printf 'bench: corpus %s entries, scbd cache cold %s misses -> warm %s hits / %s misses\n' \
+    "$corpus_entries" "$corpus_cold_misses" "$corpus_warm_hits" "$corpus_warm_misses"
+
 # Resident-daemon counters: boot memx-serve with a throwaway cache,
 # drive the demo batch cold then warm, read the warm pass's cache-hit
 # trailers and the daemon's cumulative /v1/stats counters.
@@ -203,7 +228,7 @@ printf 'bench: serve warm hits %s, rows streamed %s, rejected %s\n' \
 
 cat > "$OUT" << EOF
 {
-  "schema": "memexplore-bench-v7",
+  "schema": "memexplore-bench-v8",
   "generated_unix": $(date +%s),
   "smoke": $smoke,
   "cores": $cores,
@@ -244,6 +269,12 @@ ${entries%,$'\n'}
     "warm_hits": $serve_warm_hits,
     "rows_streamed": $serve_rows,
     "rejected_requests": $serve_rejected
+  },
+  "corpus": {
+    "entries": $corpus_entries,
+    "cold_misses": $corpus_cold_misses,
+    "warm_hits": $corpus_warm_hits,
+    "warm_misses": $corpus_warm_misses
   }
 }
 EOF

@@ -28,16 +28,20 @@
 #     run must short-circuit every branch-and-bound) — self-contained;
 #   * NEW's serve block reports zero warm hits (the resident daemon's
 #     shared cache stopped serving the second pass of an identical
-#     batch) — self-contained.
+#     batch) — self-contained;
+#   * NEW's corpus block reports zero entries or zero warm hits (the
+#     workload corpus vanished, or text-parsed specs stopped hashing
+#     onto the cache keys of their Rust-built equivalents) —
+#     self-contained.
 #
 # A missing PREV (first run, expired CI cache) skips the wall-clock
 # comparison with a note instead of failing, so the gate bootstraps
 # itself. A PREV from an older schema (no table4_off_chip block, a
 # v3 artifact without the scbd_cache block, a v4 artifact without
-# the alloc_cache block, a v5 artifact without the dominance block, or
-# a v6 artifact without the serve block) skips only the affected
-# vs-baseline comparison, again with a note — older artifacts must
-# never turn the gate red.
+# the alloc_cache block, a v5 artifact without the dominance block, a
+# v6 artifact without the serve block, or a v7 artifact without the
+# corpus block) skips only the affected vs-baseline comparison, again
+# with a note — older artifacts must never turn the gate red.
 set -euo pipefail
 
 prev=${1:?usage: bench_regression.sh PREV.json NEW.json}
@@ -176,6 +180,27 @@ else
 fi
 if [ -f "$prev" ] && [ -z "$(block_field "$prev" serve warm_hits)" ]; then
     echo "bench-regression: previous artifact predates the serve block (v6 schema); serve gate is self-contained, nothing skipped"
+fi
+
+# --- Workload-corpus invariant (self-contained). ----------------------
+corpus_entries=$(block_field "$new" corpus entries)
+corpus_warm_hits=$(block_field "$new" corpus warm_hits)
+if [ -n "$corpus_entries" ] && [ -n "$corpus_warm_hits" ]; then
+    if [ "$corpus_entries" -eq 0 ]; then
+        echo "bench-regression: FAIL corpus run loaded no workloads" >&2
+        fail=1
+    elif [ "$corpus_warm_hits" -eq 0 ]; then
+        echo "bench-regression: FAIL warm corpus run served no cache hits (text specs hash apart from Rust-built ones?)" >&2
+        fail=1
+    else
+        echo "bench-regression: corpus ok ($corpus_entries entries, warm hits $corpus_warm_hits)"
+    fi
+else
+    echo "bench-regression: FAIL $new lacks corpus counters" >&2
+    fail=1
+fi
+if [ -f "$prev" ] && [ -z "$(block_field "$prev" corpus entries)" ]; then
+    echo "bench-regression: previous artifact predates the corpus block (v7 schema); corpus gate is self-contained, nothing skipped"
 fi
 
 # --- Off-chip nodes vs the previous artifact. -------------------------

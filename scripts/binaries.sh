@@ -14,6 +14,7 @@ BINARIES=(
     auto_hierarchy
     ablation_balancing
     plateau_dominance
+    memx-corpus
 )
 
 # The resident daemon is deliberately NOT in BINARIES: every harness

@@ -42,6 +42,7 @@ SCHEDULING_BINARIES=(
     fig1_methodology
     auto_hierarchy
     ablation_balancing
+    memx-corpus
 )
 
 cargo build --release --package memx-bench --bins
